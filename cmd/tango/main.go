@@ -1,0 +1,191 @@
+// Command tango is an interactive shell for the temporal middleware:
+// it boots an embedded DBMS, loads the synthetic UIS dataset, and
+// accepts temporal SQL at a prompt. Regular SQL is forwarded to the
+// DBMS untouched; VALIDTIME queries go through the middleware
+// optimizer and its split execution.
+//
+//	tango> VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID ORDER BY PosID
+//	tango> EXPLAIN VALIDTIME SELECT ...
+//	tango> SELECT COUNT(*) FROM POSITION
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tango/internal/bench"
+	"tango/internal/rel"
+	"tango/internal/tsql"
+)
+
+func main() {
+	posRows := flag.Int("position", 8400, "POSITION rows to generate (0 = paper full size)")
+	empRows := flag.Int("employee", 5000, "EMPLOYEE rows to generate (0 = paper full size)")
+	calibrate := flag.Int("calibrate", 0, "calibration sample rows (0 = default cost factors)")
+	command := flag.String("c", "", "run one statement and exit (scriptable mode)")
+	flag.Parse()
+
+	quiet := *command != ""
+	if !quiet {
+		fmt.Println("TANGO temporal middleware — loading UIS data...")
+	}
+	sys, err := bench.NewSystem(bench.Config{
+		PositionRows: *posRows,
+		EmployeeRows: *empRows,
+		Histograms:   20,
+		Calibrate:    *calibrate,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boot:", err)
+		os.Exit(1)
+	}
+	if *command != "" {
+		if err := dispatch(sys, strings.TrimSpace(*command)); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("loaded POSITION (%d rows), EMPLOYEE (%d rows)\n", sys.PositionRows, sys.EmployeeRows)
+	fmt.Println(`type temporal SQL ("VALIDTIME SELECT ..."), regular SQL, EXPLAIN <query>, \tables, \stats <table>, \factors, or \q`)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("tango> ")
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit"):
+			return
+		}
+		if err := dispatch(sys, line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func dispatch(sys *bench.System, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case line == `\tables`:
+		for _, name := range sys.DB.TableNames() {
+			t, err := sys.DB.Table(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-24s %s\n", name, t.Schema)
+		}
+		return nil
+
+	case strings.HasPrefix(line, `\stats `):
+		table := strings.TrimSpace(line[len(`\stats `):])
+		stats, err := sys.MW.Conn.TableStats(table, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d rows, %d blocks, %.1f B/row\n",
+			stats.Table, stats.Cardinality, stats.Blocks, stats.AvgTupleSize)
+		schema, err := sys.MW.Conn.TableSchema(table)
+		if err != nil {
+			return err
+		}
+		for _, col := range schema.Cols {
+			cs := stats.Column(col.Name)
+			if cs == nil {
+				continue
+			}
+			hist := ""
+			if cs.Histogram != nil {
+				hist = fmt.Sprintf(", %d-bucket histogram", cs.Histogram.NumBuckets())
+			}
+			idx := ""
+			if cs.HasIndex {
+				idx = fmt.Sprintf(", indexed (clustering %d)", cs.ClusteringFactor)
+			}
+			fmt.Printf("  %-12s min=%v max=%v distinct=%d%s%s\n",
+				cs.Name, cs.Min, cs.Max, cs.Distinct, hist, idx)
+		}
+		return nil
+
+	case line == `\factors`:
+		f := sys.MW.Model.F
+		fmt.Printf("p_tm=%.5f p_td=%.5f p_sem=%.5f\n", f.TM, f.TD, f.SelM)
+		fmt.Printf("p_taggm1=%.5f p_taggm2=%.5f p_taggd1=%.5f p_taggd2=%.5f\n",
+			f.TAggrM1, f.TAggrM2, f.TAggrD1, f.TAggrD2)
+		fmt.Printf("sortM=%.5f sortD=%.5f joinM=%.5f joinD=%.5f scanD=%.5f\n",
+			f.SortM, f.SortD, f.JoinM, f.JoinD, f.ScanD)
+		return nil
+
+	case strings.HasPrefix(upper, "EXPLAIN "):
+		query := strings.TrimSpace(line[len("EXPLAIN "):])
+		plan, err := tsql.Parse(query, sys.MW.Cat)
+		if err != nil {
+			return err
+		}
+		out, err := sys.MW.Explain(plan)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+
+	case strings.HasPrefix(upper, "VALIDTIME"):
+		plan, err := tsql.Parse(line, sys.MW.Cat)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		out, res, err := sys.MW.Run(plan)
+		if err != nil {
+			return err
+		}
+		printRelation(out, 40)
+		fmt.Printf("%d rows in %.3fs (optimizer: %d classes, %d elements, plan %s)\n",
+			out.Cardinality(), time.Since(start).Seconds(),
+			res.Classes, res.Elements, bench.PlanSignature(res.Best))
+		return nil
+
+	case strings.HasPrefix(upper, "SELECT"):
+		start := time.Now()
+		out, _, err := sys.MW.Conn.QueryAll(line)
+		if err != nil {
+			return err
+		}
+		printRelation(out, 40)
+		fmt.Printf("%d rows in %.3fs (DBMS passthrough)\n", out.Cardinality(), time.Since(start).Seconds())
+		return nil
+
+	default:
+		// DDL/DML passthrough.
+		n, err := sys.MW.Conn.Exec(line)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok (%d rows)\n", n)
+		return nil
+	}
+}
+
+func printRelation(r *rel.Relation, limit int) {
+	fmt.Println(strings.Join(r.Schema.Names(), " | "))
+	for i, t := range r.Tuples {
+		if i >= limit {
+			fmt.Printf("... (%d more rows)\n", r.Cardinality()-limit)
+			return
+		}
+		parts := make([]string, len(t))
+		for j, v := range t {
+			parts[j] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: boot an embedded DBMS, load the paper's POSITION
+// example (Figure 3a), and run the paper's running-example query
+// through the temporal middleware — temporal aggregation joined back
+// to the base relation — letting the optimizer decide what runs where.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tango/internal/bench"
+	"tango/internal/engine"
+	"tango/internal/server"
+	"tango/internal/tango"
+	"tango/internal/tsql"
+	"tango/internal/wire"
+)
+
+func main() {
+	// 1. A conventional DBMS...
+	db := engine.Open(engine.Config{})
+	srv := server.New(db, wire.Latency{})
+	// 2. ...with the temporal middleware on top.
+	mw := tango.Open(srv, tango.Options{HistogramBuckets: 10})
+
+	// 3. Create and fill the POSITION relation of Figure 3(a).
+	mustExec(mw, "CREATE TABLE POSITION (PosID INTEGER, EmpName VARCHAR(40), T1 INTEGER, T2 INTEGER)")
+	mustExec(mw, "INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)")
+
+	// 4. Ask the temporal aggregation question of §2.2 (Figure 3c):
+	// for each position, how many employees held it at each point in
+	// time?
+	query := `VALIDTIME SELECT B.PosID, B.EmpName, COUNT(B.PosID)
+	          FROM POSITION B GROUP BY B.PosID ORDER BY B.PosID`
+	plan, err := tsql.Parse(query, mw.Cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Optimize and execute: the middleware decides which operators
+	// run in the DBMS (as SQL) and which run on its own algorithms.
+	result, report, err := mw.Run(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("chosen plan:")
+	fmt.Println(indent(report.Best.String()))
+	fmt.Printf("(%d equivalence classes, %d elements, estimated %.0f µs)\n\n",
+		report.Classes, report.Elements, report.BestCost)
+	fmt.Println(strings.Join(result.Schema.Names(), " | "))
+	for _, row := range result.Tuples {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("\nplan ran as: %s\n", bench.PlanSignature(report.Best))
+}
+
+func mustExec(mw *tango.Middleware, sql string) {
+	if _, err := mw.Conn.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

@@ -1,0 +1,217 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"tango/internal/sqlparser"
+	"tango/internal/types"
+)
+
+// fakeCatalog resolves the paper's example relations.
+type fakeCatalog map[string]types.Schema
+
+func (c fakeCatalog) TableSchema(name string) (types.Schema, error) {
+	if s, ok := c[strings.ToUpper(name)]; ok {
+		return s, nil
+	}
+	return types.Schema{}, &missingTable{name}
+}
+
+type missingTable struct{ name string }
+
+func (e *missingTable) Error() string { return "no table " + e.name }
+
+func cat() fakeCatalog {
+	return fakeCatalog{
+		"POSITION": types.NewSchema(
+			types.Column{Name: "PosID", Kind: types.KindInt},
+			types.Column{Name: "EmpName", Kind: types.KindString},
+			types.Column{Name: "PayRate", Kind: types.KindFloat},
+			types.Column{Name: "T1", Kind: types.KindDate},
+			types.Column{Name: "T2", Kind: types.KindDate},
+		),
+		"EMPLOYEE": types.NewSchema(
+			types.Column{Name: "EmpName", Kind: types.KindString},
+			types.Column{Name: "Addr", Kind: types.KindString},
+		),
+	}
+}
+
+// paperInitialPlan is Figure 4(a): TM(sort(TJoin(TAggr(POSITION), POSITION))).
+func paperInitialPlan() *Node {
+	taggr := TAggr(Scan("POSITION", "A"), []string{"A.PosID"}, Agg{Fn: "COUNT", Col: "A.PosID"})
+	tj := TJoin(taggr, Scan("POSITION", "B"), []string{"PosID"}, []string{"B.PosID"})
+	return TM(Sort(tj, "PosID"))
+}
+
+func TestScanSchema(t *testing.T) {
+	s, err := Scan("POSITION", "A").Schema(cat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cols[0].Name != "A.PosID" {
+		t.Errorf("qualified: %v", s.Names())
+	}
+	s2, err := Scan("POSITION", "").Schema(cat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Cols[0].Name != "PosID" {
+		t.Errorf("unqualified: %v", s2.Names())
+	}
+	if _, err := Scan("NOPE", "").Schema(cat()); err == nil {
+		t.Error("missing table should fail")
+	}
+}
+
+func TestTAggrSchema(t *testing.T) {
+	n := TAggr(Scan("POSITION", ""), []string{"PosID"}, Agg{Fn: "COUNT", Col: "PosID"})
+	s, err := n.Schema(cat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"PosID", "T1", "T2", "COUNTofPosID"}
+	got := s.Names()
+	if len(got) != len(want) {
+		t.Fatalf("schema = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schema = %v, want %v", got, want)
+		}
+	}
+	if s.Cols[3].Kind != types.KindInt {
+		t.Errorf("COUNT kind = %v", s.Cols[3].Kind)
+	}
+}
+
+func TestTJoinSchema(t *testing.T) {
+	taggr := TAggr(Scan("POSITION", "A"), []string{"A.PosID"}, Agg{Fn: "COUNT", Col: "A.PosID"})
+	tj := TJoin(taggr, Scan("POSITION", "B"), []string{"PosID"}, []string{"B.PosID"})
+	s, err := tj.Schema(cat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := s.Names()
+	// Left: PosID, T1, T2, COUNTofPosID; right minus time: B.PosID, B.EmpName, B.PayRate.
+	if len(names) != 7 {
+		t.Fatalf("tjoin schema = %v", names)
+	}
+	if s.ColumnIndex("COUNTofPosID") < 0 || s.ColumnIndex("B.EmpName") < 0 {
+		t.Errorf("missing columns: %v", names)
+	}
+	// Exactly one T1.
+	count := 0
+	for _, n := range names {
+		if strings.HasSuffix(strings.ToUpper(n), "T1") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("expected one T1 column: %v", names)
+	}
+}
+
+func TestProjectSchemaRename(t *testing.T) {
+	n := Project(Scan("POSITION", "A"),
+		ProjCol{Src: "A.PosID", As: "P"},
+		ProjCol{Src: "A.T1"},
+	)
+	s, err := n.Schema(cat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cols[0].Name != "P" || s.Cols[1].Name != "T1" {
+		t.Errorf("project schema: %v", s.Names())
+	}
+	bad := Project(Scan("POSITION", ""), ProjCol{Src: "Nope"})
+	if _, err := bad.Schema(cat()); err == nil {
+		t.Error("bad projection should fail")
+	}
+}
+
+func TestLocations(t *testing.T) {
+	plan := paperInitialPlan()
+	if plan.Loc() != LocMW {
+		t.Error("root TM should be MW")
+	}
+	if plan.Left.Loc() != LocDBMS {
+		t.Error("sort below TM should be DBMS")
+	}
+	if err := plan.Validate(); err != nil {
+		t.Errorf("initial plan invalid: %v", err)
+	}
+
+	// Figure 4(b)-style plan: TAggr in MW.
+	scan := Scan("POSITION", "A")
+	mwAggr := TD(TAggr(TM(Sort(scan, "A.PosID", "A.T1")), []string{"A.PosID"}, Agg{Fn: "COUNT", Col: "A.PosID"}))
+	tj := TJoin(mwAggr, Scan("POSITION", "B"), []string{"PosID"}, []string{"B.PosID"})
+	plan2 := TM(Sort(tj, "PosID"))
+	if err := plan2.Validate(); err != nil {
+		t.Fatalf("plan2 invalid: %v", err)
+	}
+	if mwAggr.Left.Loc() != LocMW {
+		t.Error("TAggr above TM should be MW")
+	}
+	if tj.Loc() != LocDBMS {
+		t.Error("TJoin between TD result and scan should be DBMS")
+	}
+}
+
+func TestValidateRejectsBadTransfers(t *testing.T) {
+	// TM over a middleware-resident input.
+	bad := TM(TAggr(TM(Scan("POSITION", "")), []string{"PosID"}, Agg{Fn: "COUNT", Col: "PosID"}))
+	if err := bad.Validate(); err == nil {
+		t.Error("TM over MW input should fail validation")
+	}
+	// Join with inputs in different locations.
+	bad2 := Join(TM(Scan("POSITION", "A")), Scan("POSITION", "B"), []string{"A.PosID"}, []string{"B.PosID"})
+	if err := bad2.Validate(); err == nil {
+		t.Error("cross-location join should fail validation")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := paperInitialPlan()
+	c := p.Clone()
+	c.Left.Keys[0] = "ZZZ"
+	if p.Left.Keys[0] == "ZZZ" {
+		t.Error("Clone shares key slices")
+	}
+	if p.Key() == c.Key() {
+		t.Error("keys should differ after mutation")
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	a, b := paperInitialPlan(), paperInitialPlan()
+	if a.Key() != b.Key() {
+		t.Errorf("identical plans should have equal keys:\n%s\n%s", a.Key(), b.Key())
+	}
+	if a.Count() != 6 {
+		t.Errorf("Count = %d", a.Count())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := paperInitialPlan().String()
+	for _, want := range []string{"TRANSFER^M", "SORT^D", "TJOIN^D", "TAGGR^D", "SCAN^D POSITION"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSelectPredicateInKey(t *testing.T) {
+	sel, err := sqlparser.ParseSelect("SELECT 1 WHERE PayRate > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := Select(Scan("POSITION", ""), sel.Where)
+	sel2, _ := sqlparser.ParseSelect("SELECT 1 WHERE PayRate > 20")
+	n2 := Select(Scan("POSITION", ""), sel2.Where)
+	if n1.Key() == n2.Key() {
+		t.Error("different predicates should give different keys")
+	}
+}

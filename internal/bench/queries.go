@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/algebra"
+	"tango/internal/sqlast"
+	"tango/internal/sqlparser"
+	"tango/internal/types"
+)
+
+// pred parses a predicate expression (panics on programmer error —
+// these are all literal strings below).
+func pred(src string) sqlast.Expr {
+	sel, err := sqlparser.ParseSelect("SELECT 1 WHERE " + src)
+	if err != nil {
+		panic(fmt.Sprintf("bench: bad predicate %q: %v", src, err))
+	}
+	return sel.Where
+}
+
+func dateLit(day int64) string {
+	return "DATE '" + types.Date(day).String() + "'"
+}
+
+// Day converts a calendar date to the day number used in sweeps.
+func Day(y int, m time.Month, d int) int64 { return types.DayOf(y, m, d) }
+
+// --- Query 1 (Figure 7): temporal aggregation over POSITION ---
+
+// q1Base projects POSITION to the aggregation attributes.
+func q1Base() *algebra.Node {
+	return algebra.ProjectCols(algebra.Scan("POSITION", ""), "PosID", "T1", "T2")
+}
+
+func q1Aggs() []algebra.Agg { return []algebra.Agg{{Fn: "COUNT", Col: "PosID"}} }
+
+// Q1Plans returns the three plans of Figure 7.
+func Q1Plans() []NamedPlan {
+	// Plan 1: SORT^D below the transfer, TAGGR^M above; TAGGR^M
+	// preserves grouping order so no final sort is needed.
+	p1 := algebra.TAggr(
+		algebra.TM(algebra.Sort(q1Base(), "PosID", "T1")),
+		[]string{"PosID"}, q1Aggs()...)
+	// Plan 2: transfer unsorted, SORT^M in the middleware.
+	p2 := algebra.TAggr(
+		algebra.Sort(algebra.TM(q1Base()), "PosID", "T1"),
+		[]string{"PosID"}, q1Aggs()...)
+	// Plan 3: everything in the DBMS (the stratum plan).
+	p3 := algebra.TM(algebra.Sort(
+		algebra.TAggr(q1Base(), []string{"PosID"}, q1Aggs()...),
+		"PosID", "T1"))
+	return []NamedPlan{
+		{Name: "P1 sortD+taggrM", Plan: p1},
+		{Name: "P2 sortM+taggrM", Plan: p2},
+		{Name: "P3 all-DBMS", Plan: p3},
+	}
+}
+
+// Q1Initial is the optimizer's starting point for Query 1.
+func Q1Initial() *algebra.Node {
+	return algebra.TM(algebra.Sort(
+		algebra.TAggr(q1Base(), []string{"PosID"}, q1Aggs()...),
+		"PosID"))
+}
+
+// --- Query 2 (Figure 9): selection + temporal aggregation + temporal join ---
+
+// q2Sel is the Query 2 condition: pay rate over $10 and period
+// overlapping [1983-01-01, end).
+func q2Sel(end int64) sqlast.Expr {
+	return pred(fmt.Sprintf("PayRate > 10 AND T1 < %s AND T2 > %s",
+		dateLit(end), dateLit(Day(1983, time.January, 1))))
+}
+
+func q2SelB(end int64) sqlast.Expr {
+	return pred(fmt.Sprintf("B.PayRate > 10 AND B.T1 < %s AND B.T2 > %s",
+		dateLit(end), dateLit(Day(1983, time.January, 1))))
+}
+
+// q2AggArg is the (filtered) argument to the temporal aggregation.
+func q2AggArg(end int64, filtered bool) *algebra.Node {
+	scan := algebra.Scan("POSITION", "")
+	if filtered {
+		scan = algebra.Select(scan, q2Sel(end))
+	}
+	return algebra.ProjectCols(scan, "PosID", "T1", "T2")
+}
+
+// q2BSide is the filtered POSITION side of the temporal join.
+func q2BSide(end int64) *algebra.Node {
+	scan := algebra.Select(algebra.Scan("POSITION", "B"), q2SelB(end))
+	return algebra.ProjectCols(scan, "B.PosID", "B.EmpName", "B.T1", "B.T2")
+}
+
+// Q2Plans returns the six plans of §5.2 for the given period end.
+func Q2Plans(end int64) []NamedPlan {
+	groupBy := []string{"PosID"}
+	aggs := q2Aggs()
+
+	// Plan 1: TAGGR^M only; join, selection, sorting in the DBMS.
+	p1aggr := algebra.TD(algebra.TAggr(
+		algebra.TM(algebra.Sort(q2AggArg(end, true), "PosID", "T1")), groupBy, aggs...))
+	p1 := algebra.TM(algebra.Sort(
+		algebra.TJoin(p1aggr, q2BSide(end), []string{"PosID"}, []string{"B.PosID"}),
+		"PosID", "T1"))
+
+	// Plan 2: TAGGR^M and TJOIN^M; selections and sorts in the DBMS.
+	p2aggr := algebra.TAggr(
+		algebra.TM(algebra.Sort(q2AggArg(end, true), "PosID", "T1")), groupBy, aggs...)
+	p2 := algebra.TJoin(p2aggr,
+		algebra.TM(algebra.Sort(q2BSide(end), "B.PosID")),
+		[]string{"PosID"}, []string{"B.PosID"})
+
+	// Plan 3: also sort in the middleware.
+	p3aggr := algebra.TAggr(
+		algebra.Sort(algebra.TM(q2AggArg(end, true)), "PosID", "T1"), groupBy, aggs...)
+	p3 := algebra.TJoin(p3aggr,
+		algebra.Sort(algebra.TM(q2BSide(end)), "B.PosID"),
+		[]string{"PosID"}, []string{"B.PosID"})
+
+	// Plan 4: selection in the middleware too — the transfers ship the
+	// whole base relation (the paper's "performs poorly" case).
+	p4agg := algebra.TAggr(
+		algebra.Sort(
+			algebra.Project(
+				algebra.Select(
+					algebra.TM(algebra.ProjectCols(algebra.Scan("POSITION", ""), "PosID", "T1", "T2", "PayRate")),
+					q2Sel(end)),
+				algebra.ProjCol{Src: "PosID"}, algebra.ProjCol{Src: "T1"}, algebra.ProjCol{Src: "T2"}),
+			"PosID", "T1"),
+		groupBy, aggs...)
+	p4b := algebra.Sort(
+		algebra.Project(
+			algebra.Select(
+				algebra.TM(algebra.ProjectCols(algebra.Scan("POSITION", "B"),
+					"B.PosID", "B.EmpName", "B.T1", "B.T2", "B.PayRate")),
+				q2SelB(end)),
+			algebra.ProjCol{Src: "B.PosID", As: "B.PosID"}, algebra.ProjCol{Src: "B.EmpName", As: "B.EmpName"},
+			algebra.ProjCol{Src: "B.T1", As: "B.T1"}, algebra.ProjCol{Src: "B.T2", As: "B.T2"}),
+		"B.PosID")
+	p4 := algebra.TJoin(p4agg, p4b, []string{"PosID"}, []string{"B.PosID"})
+
+	// Plan 5: like plan 1 but aggregating the whole POSITION relation
+	// (no selection on the aggregation argument).
+	p5aggr := algebra.TD(algebra.TAggr(
+		algebra.TM(algebra.Sort(q2AggArg(end, false), "PosID", "T1")), groupBy, aggs...))
+	p5 := algebra.TM(algebra.Sort(
+		algebra.TJoin(p5aggr, q2BSide(end), []string{"PosID"}, []string{"B.PosID"}),
+		"PosID", "T1"))
+
+	// Plan 6: everything in the DBMS.
+	p6 := algebra.TM(algebra.Sort(
+		algebra.TJoin(
+			algebra.TAggr(q2AggArg(end, true), groupBy, aggs...),
+			q2BSide(end),
+			[]string{"PosID"}, []string{"B.PosID"}),
+		"PosID", "T1"))
+
+	return []NamedPlan{
+		{Name: "P1 taggrM", Plan: p1},
+		{Name: "P2 taggrM+tjoinM", Plan: p2},
+		{Name: "P3 +sortM", Plan: p3},
+		{Name: "P4 +selM", Plan: p4},
+		{Name: "P5 taggrM-nosel", Plan: p5},
+		{Name: "P6 all-DBMS", Plan: p6},
+	}
+}
+
+func q2Aggs() []algebra.Agg { return []algebra.Agg{{Fn: "COUNT", Col: "PosID"}} }
+
+// Q2Initial is the optimizer's starting point for Query 2.
+func Q2Initial(end int64) *algebra.Node {
+	taggr := algebra.TAggr(q2AggArg(end, true), []string{"PosID"}, q2Aggs()...)
+	tj := algebra.TJoin(taggr, q2BSide(end), []string{"PosID"}, []string{"B.PosID"})
+	return algebra.TM(algebra.Sort(tj, "PosID", "T1"))
+}
+
+// --- Query 3 (Figure 11a): temporal self-join ---
+
+func q3Side(alias string, cutoff int64) *algebra.Node {
+	scan := algebra.Select(algebra.Scan("POSITION", alias),
+		pred(fmt.Sprintf("%s.T1 < %s", alias, dateLit(cutoff))))
+	return algebra.ProjectCols(scan,
+		alias+".PosID", alias+".EmpName", alias+".T1", alias+".T2")
+}
+
+// Q3Plans returns the two plans: all in the DBMS vs temporal join in
+// the middleware.
+func Q3Plans(cutoff int64) []NamedPlan {
+	// Plan 1: everything in the DBMS.
+	p1 := algebra.TM(algebra.Sort(
+		algebra.TJoin(q3Side("A", cutoff), q3Side("B", cutoff),
+			[]string{"A.PosID"}, []string{"B.PosID"}),
+		"A.PosID"))
+	// Plan 2: temporal join in the middleware (sorted transfers).
+	p2 := algebra.TJoin(
+		algebra.TM(algebra.Sort(q3Side("A", cutoff), "A.PosID")),
+		algebra.TM(algebra.Sort(q3Side("B", cutoff), "B.PosID")),
+		[]string{"A.PosID"}, []string{"B.PosID"})
+	return []NamedPlan{
+		{Name: "P1 all-DBMS", Plan: p1},
+		{Name: "P2 tjoinM", Plan: p2},
+	}
+}
+
+// Q3Initial is the optimizer's starting point for Query 3.
+func Q3Initial(cutoff int64) *algebra.Node {
+	return algebra.TM(algebra.Sort(
+		algebra.TJoin(q3Side("A", cutoff), q3Side("B", cutoff),
+			[]string{"A.PosID"}, []string{"B.PosID"}),
+		"A.PosID"))
+}
+
+// --- Query 4 (Figure 11b): regular join POSITION ⋈ EMPLOYEE ---
+
+func q4Position() *algebra.Node {
+	return algebra.ProjectCols(algebra.Scan("POSITION", "P"), "P.PosID", "P.EmpID")
+}
+
+func q4Employee() *algebra.Node {
+	return algebra.ProjectCols(algebra.Scan("EMPLOYEE", "E"), "E.EmpID", "E.EmpName", "E.Addr")
+}
+
+// Q4Plans returns the three plans: middleware sort-merge, DBMS
+// nested-loop (hinted), DBMS sort-merge (hinted).
+func Q4Plans() []NamedPlan {
+	p1 := algebra.Join(
+		algebra.TM(algebra.Sort(q4Position(), "P.EmpID")),
+		algebra.TM(algebra.Sort(q4Employee(), "E.EmpID")),
+		[]string{"P.EmpID"}, []string{"E.EmpID"})
+	dbms := func() *algebra.Node {
+		return algebra.TM(algebra.Join(q4Position(), q4Employee(),
+			[]string{"P.EmpID"}, []string{"E.EmpID"}))
+	}
+	return []NamedPlan{
+		{Name: "P1 mw-sort-merge", Plan: p1},
+		{Name: "P2 dbms-nested-loop", Plan: dbms(), Hint: "/*+ USE_NL */"},
+		{Name: "P3 dbms-sort-merge", Plan: dbms(), Hint: "/*+ USE_MERGE */"},
+	}
+}
+
+// Q4Initial is the optimizer's starting point for Query 4.
+func Q4Initial() *algebra.Node {
+	return algebra.TM(algebra.Join(q4Position(), q4Employee(),
+		[]string{"P.EmpID"}, []string{"E.EmpID"}))
+}

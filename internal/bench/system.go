@@ -1,0 +1,138 @@
+// Package bench is the experiment harness behind cmd/experiments and
+// the repository's benchmarks: it assembles a full system (DBMS +
+// middleware) over the synthetic UIS data, defines the paper's four
+// evaluation queries with the exact plan alternatives of §5.2, and
+// runs the parameter sweeps that regenerate every figure of the
+// evaluation section.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tango/internal/algebra"
+	"tango/internal/engine"
+	"tango/internal/rel"
+	"tango/internal/server"
+	"tango/internal/tango"
+	"tango/internal/uis"
+	"tango/internal/wire"
+)
+
+// System is one DBMS-plus-middleware instance loaded with UIS data.
+type System struct {
+	DB  *engine.DB
+	Srv *server.Server
+	MW  *tango.Middleware
+
+	PositionRows int
+	EmployeeRows int
+}
+
+// Config sizes and tunes a System.
+type Config struct {
+	PositionRows int // ≤0: paper full size (83,857)
+	EmployeeRows int // ≤0: paper full size (49,972)
+	// Latency is the simulated network between middleware and DBMS;
+	// zero means in-process speed.
+	Latency wire.Latency
+	// Histograms controls ANALYZE histogram buckets (0 disables — the
+	// Query 2 with/without comparison).
+	Histograms int
+	// Naive switches the optimizer to the naive temporal selectivity.
+	Naive bool
+	// Calibrate runs cost-factor calibration (with the given sample
+	// rows) after loading.
+	Calibrate int
+}
+
+// NewSystem builds, loads, and (optionally) calibrates a system.
+func NewSystem(cfg Config) (*System, error) {
+	db := engine.Open(engine.Config{})
+	srv := server.New(db, cfg.Latency)
+	mw := tango.Open(srv, tango.Options{
+		HistogramBuckets: cfg.Histograms,
+		Naive:            cfg.Naive,
+	})
+	hb := cfg.Histograms
+	if _, err := uis.Load(mw.Conn, cfg.PositionRows, cfg.EmployeeRows, hb); err != nil {
+		return nil, err
+	}
+	if cfg.Calibrate > 0 {
+		if err := mw.Calibrate(cfg.Calibrate); err != nil {
+			return nil, err
+		}
+	}
+	posRows := cfg.PositionRows
+	if posRows <= 0 {
+		posRows = uis.PositionRows
+	}
+	empRows := cfg.EmployeeRows
+	if empRows <= 0 {
+		empRows = uis.EmployeeRows
+	}
+	return &System{DB: db, Srv: srv, MW: mw, PositionRows: posRows, EmployeeRows: empRows}, nil
+}
+
+// NamedPlan is one of the plan alternatives of §5.2.
+type NamedPlan struct {
+	Name string
+	Plan *algebra.Node
+	// Hint pins the DBMS join method (Query 4's Oracle-hint analogue).
+	Hint string
+}
+
+// Measurement is one timed plan execution.
+type Measurement struct {
+	Query   string
+	Plan    string
+	Param   string // sweep coordinate (size, year, ...)
+	Rows    int
+	Elapsed time.Duration
+	Err     error
+}
+
+// Seconds returns the elapsed wall time in seconds.
+func (m Measurement) Seconds() float64 { return m.Elapsed.Seconds() }
+
+// RunPlan executes a plan and times it.
+func (s *System) RunPlan(np NamedPlan) (*rel.Relation, time.Duration, error) {
+	ex := &tango.Executor{Conn: s.MW.Conn, Cat: s.MW.Cat, Hint: np.Hint}
+	start := time.Now()
+	out, err := ex.Run(np.Plan.Clone())
+	return out, time.Since(start), err
+}
+
+// Measure runs a plan under a sweep coordinate.
+func (s *System) Measure(query, param string, np NamedPlan) Measurement {
+	out, elapsed, err := s.RunPlan(np)
+	m := Measurement{Query: query, Plan: np.Name, Param: param, Elapsed: elapsed, Err: err}
+	if out != nil {
+		m.Rows = out.Cardinality()
+	}
+	return m
+}
+
+// PlanSignature summarizes where the interesting operators of a plan
+// execute, e.g. "TAggr^M TJoin^D" — used to match the optimizer's
+// choice against the named plan alternatives.
+func PlanSignature(p *algebra.Node) string {
+	sig := ""
+	p.Walk(func(n *algebra.Node) {
+		switch n.Op {
+		case algebra.OpTAggr, algebra.OpTJoin, algebra.OpJoin:
+			loc := "D"
+			if n.Loc() == algebra.LocMW {
+				loc = "M"
+			}
+			if sig != "" {
+				sig += " "
+			}
+			sig += fmt.Sprintf("%v^%s", n.Op, loc)
+		}
+	})
+	if sig == "" {
+		sig = "(transfer only)"
+	}
+	return sig
+}

@@ -1,0 +1,168 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tango/internal/storage"
+	"tango/internal/types"
+)
+
+func rid(n int) storage.RecordID {
+	return storage.RecordID{Page: int32(n / 100), Slot: int32(n % 100)}
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(types.Int(int64(i)), rid(i))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, k := range []int64{0, 1, 499, 998, 999} {
+		rids := tr.Lookup(types.Int(k))
+		if len(rids) != 1 || rids[0] != rid(int(k)) {
+			t.Errorf("Lookup(%d) = %v", k, rids)
+		}
+	}
+	if rids := tr.Lookup(types.Int(5000)); len(rids) != 0 {
+		t.Errorf("Lookup(missing) = %v", rids)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New()
+	for i := 0; i < 300; i++ {
+		tr.Insert(types.Int(int64(i%10)), rid(i))
+	}
+	for k := int64(0); k < 10; k++ {
+		if got := len(tr.Lookup(types.Int(k))); got != 30 {
+			t.Errorf("key %d has %d entries, want 30", k, got)
+		}
+	}
+}
+
+func TestAscendOrdered(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]int64, 5000)
+	for i := range keys {
+		keys[i] = rng.Int63n(2000)
+		tr.Insert(types.Int(keys[i]), rid(i))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var got []int64
+	tr.Ascend(func(e Entry) bool {
+		got = append(got, e.Key.AsInt())
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("Ascend saw %d entries, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("position %d: got %d, want %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(types.Int(int64(i)), rid(i))
+	}
+	collect := func(lo, hi types.Value, incl bool) []int64 {
+		var out []int64
+		tr.AscendRange(lo, hi, incl, func(e Entry) bool {
+			out = append(out, e.Key.AsInt())
+			return true
+		})
+		return out
+	}
+	if got := collect(types.Int(10), types.Int(15), true); len(got) != 6 || got[0] != 10 || got[5] != 15 {
+		t.Errorf("inclusive range = %v", got)
+	}
+	if got := collect(types.Int(10), types.Int(15), false); len(got) != 5 || got[4] != 14 {
+		t.Errorf("exclusive range = %v", got)
+	}
+	if got := collect(types.Null, types.Int(2), true); len(got) != 3 {
+		t.Errorf("open lo = %v", got)
+	}
+	if got := collect(types.Int(97), types.Null, true); len(got) != 3 {
+		t.Errorf("open hi = %v", got)
+	}
+	// Early stop.
+	n := 0
+	tr.AscendRange(types.Null, types.Null, true, func(Entry) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New()
+	words := []string{"pear", "apple", "fig", "banana", "cherry", "apple"}
+	for i, w := range words {
+		tr.Insert(types.Str(w), rid(i))
+	}
+	var got []string
+	tr.Ascend(func(e Entry) bool { got = append(got, e.Key.AsString()); return true })
+	want := []string{"apple", "apple", "banana", "cherry", "fig", "pear"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: %v", got)
+		}
+	}
+}
+
+func TestClusteringFactor(t *testing.T) {
+	// Clustered: keys inserted in heap order.
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(types.Int(int64(i)), rid(i))
+	}
+	clustered := tr.ClusteringFactor()
+	// Unclustered: random key order vs heap position.
+	tr2 := New()
+	rng := rand.New(rand.NewSource(9))
+	perm := rng.Perm(1000)
+	for i, p := range perm {
+		tr2.Insert(types.Int(int64(p)), rid(i))
+	}
+	unclustered := tr2.ClusteringFactor()
+	if clustered >= unclustered {
+		t.Errorf("clustering factor should separate: clustered=%d unclustered=%d", clustered, unclustered)
+	}
+	if clustered != 10 { // 1000 rids over 10 pages in order
+		t.Errorf("clustered factor = %d, want 10", clustered)
+	}
+}
+
+func TestRandomizedAgainstSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New()
+	type kv struct {
+		k int64
+		r storage.RecordID
+	}
+	var all []kv
+	for i := 0; i < 20000; i++ {
+		k := rng.Int63n(5000)
+		tr.Insert(types.Int(k), rid(i))
+		all = append(all, kv{k, rid(i)})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].k < all[j].k })
+	i := 0
+	tr.Ascend(func(e Entry) bool {
+		if e.Key.AsInt() != all[i].k {
+			t.Fatalf("entry %d: key %d, want %d", i, e.Key.AsInt(), all[i].k)
+		}
+		i++
+		return true
+	})
+	if i != len(all) {
+		t.Fatalf("visited %d of %d", i, len(all))
+	}
+}

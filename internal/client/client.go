@@ -1,0 +1,221 @@
+// Package client is the middleware's connection to the DBMS server —
+// the JDBC analogue. Query results arrive as serialized batches and
+// are exposed through the shared iterator interface; per-query
+// feedback (rows, bytes, wall time) feeds the middleware's adaptive
+// cost calibration.
+package client
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tango/internal/meta"
+	"tango/internal/rel"
+	"tango/internal/server"
+	"tango/internal/types"
+	"tango/internal/wire"
+)
+
+// Conn is a middleware-side connection.
+type Conn struct {
+	srv *server.Server
+	// Prefetch is the rows-per-fetch setting (the paper's Oracle
+	// row-prefetch); 0 uses the wire default.
+	Prefetch int
+}
+
+// Connect opens a connection to a server.
+func Connect(srv *server.Server) *Conn {
+	return &Conn{srv: srv}
+}
+
+// Feedback summarizes one completed transfer for the adaptive cost
+// model.
+type Feedback struct {
+	SQL     string
+	Rows    int64
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// Exec runs a non-SELECT statement on the DBMS.
+func (c *Conn) Exec(sql string) (int64, error) {
+	return c.srv.Exec(sql)
+}
+
+// Query opens a SELECT on the DBMS and returns a pipelined iterator
+// over the deserialized rows. Feedback() on the returned Rows is valid
+// after the iterator is drained or closed.
+func (c *Conn) Query(sql string) (*Rows, error) {
+	start := time.Now()
+	cur, err := c.srv.Query(sql, c.Prefetch)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cur: cur, schema: cur.Schema().Unqualified(), start: start, sql: sql}, nil
+}
+
+// Rows iterates a query result fetched in batches over the wire.
+type Rows struct {
+	cur    *server.Cursor
+	schema types.Schema
+	sql    string
+
+	batch []types.Tuple
+	pos   int
+	done  bool
+
+	start time.Time
+	fb    Feedback
+}
+
+// Schema returns the result schema (unqualified column names, as a
+// JDBC ResultSetMetaData would present them).
+func (r *Rows) Schema() types.Schema { return r.schema }
+
+// Open is a no-op; the cursor is opened by Query.
+func (r *Rows) Open() error { return nil }
+
+// Next returns the next row, fetching a new batch when the current
+// one is exhausted.
+func (r *Rows) Next() (types.Tuple, bool, error) {
+	for {
+		if r.pos < len(r.batch) {
+			t := r.batch[r.pos]
+			r.pos++
+			r.fb.Rows++
+			return t, true, nil
+		}
+		if r.done {
+			return nil, false, nil
+		}
+		payload, err := r.cur.FetchBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if payload == nil {
+			r.done = true
+			r.finish()
+			return nil, false, nil
+		}
+		r.fb.Bytes += int64(len(payload))
+		batch, err := wire.DecodeBatch(payload)
+		if err != nil {
+			return nil, false, err
+		}
+		r.batch = batch
+		r.pos = 0
+	}
+}
+
+// Close releases the server cursor.
+func (r *Rows) Close() error {
+	if !r.done {
+		r.done = true
+		r.finish()
+	}
+	return r.cur.Close()
+}
+
+func (r *Rows) finish() {
+	r.fb.Elapsed = time.Since(r.start)
+	r.fb.SQL = r.sql
+}
+
+// Feedback returns transfer statistics; valid after the rows are
+// drained or closed.
+func (r *Rows) Feedback() Feedback { return r.fb }
+
+// QueryAll runs a query and materializes the result, returning the
+// transfer feedback.
+func (c *Conn) QueryAll(sql string) (*rel.Relation, Feedback, error) {
+	rows, err := c.Query(sql)
+	if err != nil {
+		return nil, Feedback{}, err
+	}
+	out, err := rel.Drain(rows)
+	if err != nil {
+		rows.Close()
+		return nil, Feedback{}, err
+	}
+	return out, rows.Feedback(), nil
+}
+
+// CreateTable issues a CREATE TABLE for the given schema. Qualified
+// column names are mangled ("A.PosID" → "A$PosID") so self-join
+// outputs stay unambiguous; SQL generation uses the same mangling.
+func (c *Conn) CreateTable(name string, schema types.Schema) error {
+	cols := make([]string, schema.Len())
+	for i, col := range schema.Cols {
+		cols[i] = Mangle(col.Name) + " " + col.Kind.String()
+	}
+	_, err := c.srv.Exec("CREATE TABLE " + name + " (" + strings.Join(cols, ", ") + ")")
+	return err
+}
+
+// Mangle converts a (possibly qualified) algebra column name into a
+// valid SQL identifier.
+func Mangle(name string) string {
+	return strings.ReplaceAll(name, ".", "$")
+}
+
+// Load bulk-loads rows into an existing table via the direct-path
+// loader, returning transfer feedback.
+func (c *Conn) Load(table string, rows []types.Tuple) (Feedback, error) {
+	start := time.Now()
+	payload := wire.EncodeBatch(nil, rows)
+	n, err := c.srv.Load(table, payload)
+	if err != nil {
+		return Feedback{}, err
+	}
+	return Feedback{
+		SQL:     "LOAD " + table,
+		Rows:    n,
+		Bytes:   int64(len(payload)),
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// InsertRows loads rows with per-row INSERTs (the slow conventional
+// path, for the ablation experiment).
+func (c *Conn) InsertRows(table string, rows []types.Tuple) (Feedback, error) {
+	start := time.Now()
+	payload := wire.EncodeBatch(nil, rows)
+	n, err := c.srv.InsertRows(table, payload)
+	if err != nil {
+		return Feedback{}, err
+	}
+	return Feedback{
+		SQL:     "INSERT " + table,
+		Rows:    n,
+		Bytes:   int64(len(payload)),
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// DropTable drops a table, ignoring missing tables (used to clean up
+// transfer temporaries).
+func (c *Conn) DropTable(name string) error {
+	_, err := c.srv.Exec("DROP TABLE IF EXISTS " + name)
+	return err
+}
+
+// TableStats fetches catalog statistics for the Statistics Collector.
+func (c *Conn) TableStats(table string, histogramBuckets int) (*meta.TableStats, error) {
+	return c.srv.TableStats(table, histogramBuckets)
+}
+
+// TableSchema fetches a table schema.
+func (c *Conn) TableSchema(table string) (types.Schema, error) {
+	return c.srv.TableSchema(table)
+}
+
+// TempName generates a unique temporary table name; the caller must
+// drop it when the query completes (as §3.2 of the paper requires).
+var tempCounter int64
+
+func (c *Conn) TempName() string {
+	tempCounter++
+	return fmt.Sprintf("TMP_TANGO_%d", tempCounter)
+}

@@ -1,0 +1,269 @@
+// Package engine implements the conventional relational DBMS that the
+// temporal middleware runs on top of: catalog, storage-backed tables,
+// secondary indexes, an SQL executor (scans, filters, joins, grouping,
+// sorting, set operations), and ANALYZE statistics. It plays the role
+// Oracle plays in the paper — a full-featured but temporally ignorant
+// query processor.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tango/internal/btree"
+	"tango/internal/meta"
+	"tango/internal/storage"
+	"tango/internal/types"
+)
+
+// DB is one database instance: a simulated disk, a buffer pool, and a
+// set of tables. Catalog operations are goroutine-safe; concurrent
+// writes to the same table must be externally serialized (the
+// middleware issues one statement at a time per connection).
+type DB struct {
+	disk *storage.Disk
+	pool *storage.BufferPool
+
+	mu     sync.RWMutex
+	tables map[string]*Table // keyed by upper-case name
+}
+
+// Table is a catalog entry.
+type Table struct {
+	Name    string
+	Schema  types.Schema
+	Heap    *storage.HeapFile
+	Indexes map[string]*btree.Tree // keyed by upper-case column name
+	Stats   *meta.TableStats       // nil until ANALYZE
+}
+
+// Config tunes a DB instance.
+type Config struct {
+	// BufferPoolPages is the buffer pool capacity; 0 means a default of
+	// 2048 pages (16 MB).
+	BufferPoolPages int
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *DB {
+	if cfg.BufferPoolPages <= 0 {
+		cfg.BufferPoolPages = 2048
+	}
+	disk := storage.NewDisk()
+	return &DB{
+		disk:   disk,
+		pool:   storage.NewBufferPool(disk, cfg.BufferPoolPages),
+		tables: map[string]*Table{},
+	}
+}
+
+// Disk exposes the underlying disk for I/O accounting in experiments.
+func (db *DB) Disk() *storage.Disk { return db.disk }
+
+func key(name string) string { return strings.ToUpper(name) }
+
+// CreateTable adds a new empty table.
+func (db *DB) CreateTable(name string, schema types.Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := key(name)
+	if _, ok := db.tables[k]; ok {
+		return nil, fmt.Errorf("engine: table %s already exists", name)
+	}
+	t := &Table{
+		Name:    name,
+		Schema:  schema,
+		Heap:    storage.NewHeapFile(db.pool),
+		Indexes: map[string]*btree.Tree{},
+	}
+	db.tables[k] = t
+	return t, nil
+}
+
+// DropTable removes a table. With ifExists, dropping a missing table
+// is not an error.
+func (db *DB) DropTable(name string, ifExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := key(name)
+	t, ok := db.tables[k]
+	if !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("engine: no table %s", name)
+	}
+	t.Heap.Drop()
+	delete(db.tables, k)
+	return nil
+}
+
+// Table returns the catalog entry for name, or an error.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %s", name)
+	}
+	return t, nil
+}
+
+// TableNames lists tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Insert adds one tuple to the table, maintaining indexes. The tuple
+// must match the table schema in arity; values are stored as given.
+func (db *DB) Insert(name string, tuple types.Tuple) error {
+	t, err := db.Table(name)
+	if err != nil {
+		return err
+	}
+	if len(tuple) != t.Schema.Len() {
+		return fmt.Errorf("engine: %s expects %d values, got %d", name, t.Schema.Len(), len(tuple))
+	}
+	rid, err := t.Heap.Insert(tuple)
+	if err != nil {
+		return err
+	}
+	for col, idx := range t.Indexes {
+		i := t.Schema.ColumnIndex(col)
+		if i >= 0 {
+			idx.Insert(tuple[i], rid)
+		}
+	}
+	t.Stats = nil // statistics are stale until the next ANALYZE
+	return nil
+}
+
+// BulkLoad appends tuples through the direct-path loader (the paper's
+// SQL*Loader analogue). Indexes are rebuilt afterwards.
+func (db *DB) BulkLoad(name string, tuples []types.Tuple) error {
+	t, err := db.Table(name)
+	if err != nil {
+		return err
+	}
+	for _, tp := range tuples {
+		if len(tp) != t.Schema.Len() {
+			return fmt.Errorf("engine: %s expects %d values, got %d", name, t.Schema.Len(), len(tp))
+		}
+	}
+	if err := t.Heap.BulkLoad(tuples); err != nil {
+		return err
+	}
+	for col := range t.Indexes {
+		if err := db.buildIndex(t, col); err != nil {
+			return err
+		}
+	}
+	t.Stats = nil
+	return nil
+}
+
+// CreateIndex builds a secondary B+-tree index on one column.
+func (db *DB) CreateIndex(table, column string) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	if t.Schema.ColumnIndex(column) < 0 {
+		return fmt.Errorf("engine: no column %s in %s", column, table)
+	}
+	return db.buildIndex(t, strings.ToUpper(column))
+}
+
+func (db *DB) buildIndex(t *Table, columnKey string) error {
+	i := t.Schema.ColumnIndex(columnKey)
+	if i < 0 {
+		return fmt.Errorf("engine: no column %s in %s", columnKey, t.Name)
+	}
+	idx := btree.New()
+	err := t.Heap.Scan(func(rid storage.RecordID, tuple types.Tuple) bool {
+		idx.Insert(tuple[i], rid)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	t.Indexes[strings.ToUpper(columnKey)] = idx
+	return nil
+}
+
+// Index returns the index on the column, or nil.
+func (t *Table) Index(column string) *btree.Tree {
+	return t.Indexes[strings.ToUpper(column)]
+}
+
+// Analyze recomputes table and column statistics; histogramBuckets > 0
+// additionally builds height-balanced histograms on every orderable
+// column.
+func (db *DB) Analyze(name string, histogramBuckets int) (*meta.TableStats, error) {
+	t, err := db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	stats := &meta.TableStats{
+		Table:   t.Name,
+		Columns: map[string]*meta.ColumnStats{},
+	}
+	ncols := t.Schema.Len()
+	values := make([][]types.Value, ncols)
+	var card, bytes int64
+	err = t.Heap.Scan(func(_ storage.RecordID, tuple types.Tuple) bool {
+		card++
+		bytes += int64(tuple.ByteSize())
+		for i, v := range tuple {
+			if i < ncols {
+				values[i] = append(values[i], v)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.Cardinality = card
+	stats.Blocks = int64(t.Heap.NumPages())
+	if card > 0 {
+		stats.AvgTupleSize = float64(bytes) / float64(card)
+	}
+	for i, col := range t.Schema.Cols {
+		cs := &meta.ColumnStats{Name: col.Name}
+		distinct := map[string]bool{}
+		for _, v := range values[i] {
+			if v.IsNull() {
+				cs.NullCount++
+				continue
+			}
+			if cs.Min.IsNull() || types.Less(v, cs.Min) {
+				cs.Min = v
+			}
+			if cs.Max.IsNull() || types.Less(cs.Max, v) {
+				cs.Max = v
+			}
+			distinct[v.AsString()] = true
+		}
+		cs.Distinct = int64(len(distinct))
+		if histogramBuckets > 0 && col.Kind != types.KindString && col.Kind != types.KindBool {
+			cs.Histogram = meta.BuildHistogram(values[i], histogramBuckets)
+		}
+		if idx := t.Index(col.Name); idx != nil {
+			cs.HasIndex = true
+			cs.ClusteringFactor = int64(idx.ClusteringFactor())
+		}
+		stats.Columns[strings.ToUpper(col.Name)] = cs
+	}
+	t.Stats = stats
+	return stats, nil
+}

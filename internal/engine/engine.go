@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"fmt"
+
+	"tango/internal/rel"
+	"tango/internal/sqlast"
+	"tango/internal/sqlparser"
+	"tango/internal/types"
+)
+
+// Query parses and plans a SELECT, returning a pipelined iterator. The
+// caller must Open, drain, and Close it.
+func (db *DB) Query(sql string) (rel.Iterator, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.planSelect(sel)
+}
+
+// QueryStmt plans an already-parsed SELECT.
+func (db *DB) QueryStmt(sel *sqlast.SelectStmt) (rel.Iterator, error) {
+	return db.planSelect(sel)
+}
+
+// QueryAll runs a SELECT and materializes the result.
+func (db *DB) QueryAll(sql string) (*rel.Relation, error) {
+	it, err := db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return rel.Drain(it)
+}
+
+// Exec parses and executes a non-SELECT statement, returning the
+// number of rows affected (where meaningful).
+func (db *DB) Exec(sql string) (int64, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecStmt executes an already-parsed statement.
+func (db *DB) ExecStmt(stmt sqlast.Statement) (int64, error) {
+	switch s := stmt.(type) {
+	case *sqlast.CreateTable:
+		cols := make([]types.Column, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = types.Column{Name: c.Name, Kind: c.Kind}
+		}
+		_, err := db.CreateTable(s.Name, types.Schema{Cols: cols})
+		return 0, err
+
+	case *sqlast.DropTable:
+		return 0, db.DropTable(s.Name, s.IfExists)
+
+	case *sqlast.CreateIndex:
+		return 0, db.CreateIndex(s.Table, s.Column)
+
+	case *sqlast.Analyze:
+		_, err := db.Analyze(s.Table, s.HistogramBuckets)
+		return 0, err
+
+	case *sqlast.Insert:
+		return db.execInsert(s)
+
+	case *sqlast.SelectStmt:
+		return 0, fmt.Errorf("engine: use Query for SELECT")
+
+	default:
+		return 0, fmt.Errorf("engine: cannot execute %T", stmt)
+	}
+}
+
+func (db *DB) execInsert(s *sqlast.Insert) (int64, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Column mapping.
+	target := make([]int, 0, t.Schema.Len())
+	if len(s.Columns) > 0 {
+		for _, c := range s.Columns {
+			i := t.Schema.ColumnIndex(c)
+			if i < 0 {
+				return 0, fmt.Errorf("engine: no column %s in %s", c, s.Table)
+			}
+			target = append(target, i)
+		}
+	} else {
+		for i := 0; i < t.Schema.Len(); i++ {
+			target = append(target, i)
+		}
+	}
+
+	insertRow := func(vals types.Tuple) error {
+		if len(vals) != len(target) {
+			return fmt.Errorf("engine: %d values for %d columns", len(vals), len(target))
+		}
+		row := make(types.Tuple, t.Schema.Len())
+		for i := range row {
+			row[i] = types.Null
+		}
+		for i, v := range vals {
+			row[target[i]] = coerce(v, t.Schema.Cols[target[i]].Kind)
+		}
+		return db.Insert(s.Table, row)
+	}
+
+	var n int64
+	if s.Select != nil {
+		it, err := db.planSelect(s.Select)
+		if err != nil {
+			return 0, err
+		}
+		if err := it.Open(); err != nil {
+			return 0, err
+		}
+		defer it.Close()
+		for {
+			row, ok, err := it.Next()
+			if err != nil {
+				return n, err
+			}
+			if !ok {
+				break
+			}
+			if err := insertRow(row); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, it.Close()
+	}
+
+	for _, rowExprs := range s.Values {
+		vals := make(types.Tuple, len(rowExprs))
+		for i, e := range rowExprs {
+			f, err := compileExpr(e, types.Schema{})
+			if err != nil {
+				return n, err
+			}
+			v, err := f(types.Tuple{})
+			if err != nil {
+				return n, err
+			}
+			vals[i] = v
+		}
+		if err := insertRow(vals); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// coerce converts a value to the column kind where a lossless
+// conversion exists (int→date, int→float, date→int); otherwise the
+// value is stored as-is.
+func coerce(v types.Value, kind types.Kind) types.Value {
+	if v.IsNull() || v.Kind() == kind {
+		return v
+	}
+	switch kind {
+	case types.KindDate:
+		if v.Kind() == types.KindInt {
+			return types.Date(v.AsInt())
+		}
+	case types.KindFloat:
+		if v.Kind() == types.KindInt {
+			return types.Float(v.AsFloat())
+		}
+	case types.KindInt:
+		if v.Kind() == types.KindDate {
+			return types.Int(v.AsInt())
+		}
+	}
+	return v
+}

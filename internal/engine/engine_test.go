@@ -1,0 +1,430 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tango/internal/rel"
+	"tango/internal/types"
+)
+
+// testDB builds the paper's POSITION example (Figure 3a) plus an
+// EMP table for join tests.
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Config{})
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("exec %q: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE POSITION (PosID INTEGER, EmpName VARCHAR(40), T1 INTEGER, T2 INTEGER)")
+	mustExec("INSERT INTO POSITION VALUES (1, 'Tom', 2, 20), (1, 'Jane', 5, 25), (2, 'Tom', 5, 10)")
+	mustExec("CREATE TABLE EMP (EmpName VARCHAR(40), Addr VARCHAR(60), Salary FLOAT)")
+	mustExec("INSERT INTO EMP VALUES ('Tom', '12 Elm St', 30.5), ('Jane', '9 Oak Av', 42.0), ('Bob', '1 Pine Rd', 25.0)")
+	return db
+}
+
+func queryAll(t *testing.T, db *DB, sql string) *rel.Relation {
+	t.Helper()
+	r, err := db.QueryAll(sql)
+	if err != nil {
+		t.Fatalf("query %q: %v", sql, err)
+	}
+	return r
+}
+
+func TestSelectWhereOrder(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT EmpName, T1 FROM POSITION WHERE PosID = 1 ORDER BY T1")
+	if r.Cardinality() != 2 {
+		t.Fatalf("rows = %d\n%v", r.Cardinality(), r)
+	}
+	if r.Tuples[0][0].AsString() != "Tom" || r.Tuples[1][0].AsString() != "Jane" {
+		t.Errorf("order wrong:\n%v", r)
+	}
+	if r.Schema.Cols[0].Name != "EmpName" {
+		t.Errorf("schema: %v", r.Schema)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT * FROM POSITION")
+	if r.Cardinality() != 3 || r.Schema.Len() != 4 {
+		t.Fatalf("star: %v", r)
+	}
+	if r.Schema.Cols[0].Name != "PosID" {
+		t.Errorf("unqualified names expected: %v", r.Schema)
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT T2 - T1 AS Dur, GREATEST(T1, 4), LEAST(T2, 21) FROM POSITION WHERE PosID = 2")
+	if r.Cardinality() != 1 {
+		t.Fatalf("rows: %v", r)
+	}
+	row := r.Tuples[0]
+	if row[0].AsInt() != 5 || row[1].AsInt() != 5 || row[2].AsInt() != 10 {
+		t.Errorf("row = %v", row)
+	}
+	if r.Schema.Cols[0].Name != "Dur" {
+		t.Errorf("alias lost: %v", r.Schema)
+	}
+}
+
+func TestJoinDefault(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, `SELECT P.PosID, E.Addr FROM POSITION P, EMP E
+		WHERE P.EmpName = E.EmpName ORDER BY P.PosID, E.Addr`)
+	if r.Cardinality() != 3 {
+		t.Fatalf("join rows = %d\n%v", r.Cardinality(), r)
+	}
+}
+
+func TestJoinMethodsAgree(t *testing.T) {
+	db := testDB(t)
+	base := "SELECT P.PosID, P.EmpName, E.Salary FROM POSITION P, EMP E WHERE P.EmpName = E.EmpName"
+	want := queryAll(t, db, base)
+	for _, hint := range []string{"/*+ USE_NL */", "/*+ USE_MERGE */", "/*+ USE_HASH */"} {
+		got := queryAll(t, db, "SELECT "+hint+" P.PosID, P.EmpName, E.Salary FROM POSITION P, EMP E WHERE P.EmpName = E.EmpName")
+		if !rel.EqualAsMultisets(want, got) {
+			t.Errorf("%s disagrees:\n%v\nvs\n%v", hint, want, got)
+		}
+	}
+}
+
+func TestIndexNestedLoopJoin(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec("CREATE INDEX emp_name ON EMP (EmpName)"); err != nil {
+		t.Fatal(err)
+	}
+	want := queryAll(t, db, "SELECT P.PosID, E.Salary FROM POSITION P, EMP E WHERE P.EmpName = E.EmpName")
+	got := queryAll(t, db, "SELECT /*+ USE_NL */ P.PosID, E.Salary FROM POSITION P, EMP E WHERE P.EmpName = E.EmpName")
+	if !rel.EqualAsMultisets(want, got) {
+		t.Errorf("index NL join disagrees:\n%v\nvs\n%v", want, got)
+	}
+}
+
+func TestThetaJoin(t *testing.T) {
+	db := testDB(t)
+	// Temporal overlap join (no equality): must fall back to NL.
+	r := queryAll(t, db, `SELECT A.EmpName, B.EmpName FROM POSITION A, POSITION B
+		WHERE A.PosID = B.PosID AND A.T1 < B.T2 AND A.T2 > B.T1`)
+	// Overlapping pairs within PosID 1: (Tom,Tom),(Tom,Jane),(Jane,Tom),(Jane,Jane);
+	// PosID 2: (Tom,Tom). Total 5.
+	if r.Cardinality() != 5 {
+		t.Fatalf("theta join rows = %d\n%v", r.Cardinality(), r)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT PosID, COUNT(*), MIN(T1), MAX(T2), SUM(T2-T1) FROM POSITION GROUP BY PosID ORDER BY PosID")
+	if r.Cardinality() != 2 {
+		t.Fatalf("groups: %v", r)
+	}
+	row := r.Tuples[0]
+	if row[0].AsInt() != 1 || row[1].AsInt() != 2 || row[2].AsInt() != 2 || row[3].AsInt() != 25 || row[4].AsInt() != 38 {
+		t.Errorf("group 1 = %v", row)
+	}
+	row = r.Tuples[1]
+	if row[0].AsInt() != 2 || row[1].AsInt() != 1 {
+		t.Errorf("group 2 = %v", row)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT PosID FROM POSITION GROUP BY PosID HAVING COUNT(*) > 1")
+	if r.Cardinality() != 1 || r.Tuples[0][0].AsInt() != 1 {
+		t.Fatalf("having: %v", r)
+	}
+}
+
+func TestGrandAggregate(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT COUNT(*), AVG(Salary) FROM EMP")
+	if r.Cardinality() != 1 || r.Tuples[0][0].AsInt() != 3 {
+		t.Fatalf("grand agg: %v", r)
+	}
+	avg := r.Tuples[0][1].AsFloat()
+	if avg < 32.49 || avg > 32.51 {
+		t.Errorf("AVG = %v", avg)
+	}
+	// Empty input still yields one row with COUNT 0.
+	r = queryAll(t, db, "SELECT COUNT(*) FROM EMP WHERE Salary > 1000")
+	if r.Cardinality() != 1 || r.Tuples[0][0].AsInt() != 0 {
+		t.Fatalf("empty grand agg: %v", r)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT COUNT(DISTINCT EmpName) FROM POSITION")
+	if r.Tuples[0][0].AsInt() != 2 {
+		t.Fatalf("count distinct: %v", r)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT DISTINCT EmpName FROM POSITION")
+	if r.Cardinality() != 2 {
+		t.Fatalf("distinct: %v", r)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT T1 AS t FROM POSITION UNION SELECT T2 AS t FROM POSITION ORDER BY t")
+	// T1s: 2,5,5; T2s: 20,25,10 → distinct {2,5,10,20,25}.
+	if r.Cardinality() != 5 {
+		t.Fatalf("union: %v", r)
+	}
+	if r.Tuples[0][0].AsInt() != 2 || r.Tuples[4][0].AsInt() != 25 {
+		t.Errorf("union order: %v", r)
+	}
+	r = queryAll(t, db, "SELECT T1 AS t FROM POSITION UNION ALL SELECT T2 AS t FROM POSITION")
+	if r.Cardinality() != 6 {
+		t.Fatalf("union all: %v", r)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, `SELECT X.PosID, X.N FROM
+		(SELECT PosID, COUNT(*) AS N FROM POSITION GROUP BY PosID) X
+		WHERE X.N > 1`)
+	if r.Cardinality() != 1 || r.Tuples[0][0].AsInt() != 1 || r.Tuples[0][1].AsInt() != 2 {
+		t.Fatalf("derived: %v", r)
+	}
+}
+
+func TestTemporalAggregationSQLShape(t *testing.T) {
+	// The set-based temporal COUNT aggregation the Translator-To-SQL
+	// emits (TAGGR^D): constant intervals from per-group event points,
+	// then counting covering tuples.
+	db := testDB(t)
+	sql := `
+	SELECT R.PosID AS PosID, I.TS AS T1, I.TE AS T2, COUNT(*) AS CNT
+	FROM (
+	  SELECT S.G AS G, S.P AS TS, MIN(E.P) AS TE
+	  FROM (SELECT PosID AS G, T1 AS P FROM POSITION UNION SELECT PosID AS G, T2 AS P FROM POSITION) S,
+	       (SELECT PosID AS G, T1 AS P FROM POSITION UNION SELECT PosID AS G, T2 AS P FROM POSITION) E
+	  WHERE S.G = E.G AND E.P > S.P
+	  GROUP BY S.G, S.P
+	) I, POSITION R
+	WHERE R.PosID = I.G AND R.T1 <= I.TS AND R.T2 >= I.TE
+	GROUP BY R.PosID, I.TS, I.TE
+	ORDER BY PosID, T1`
+	r := queryAll(t, db, sql)
+	// Expected (Figure 3c): (1,2,5,1),(1,5,20,2),(1,20,25,1),(2,5,10,1).
+	want := [][4]int64{{1, 2, 5, 1}, {1, 5, 20, 2}, {1, 20, 25, 1}, {2, 5, 10, 1}}
+	if r.Cardinality() != len(want) {
+		t.Fatalf("rows = %d\n%v", r.Cardinality(), r)
+	}
+	for i, w := range want {
+		for j := 0; j < 4; j++ {
+			if r.Tuples[i][j].AsInt() != w[j] {
+				t.Fatalf("row %d = %v, want %v", i, r.Tuples[i], w)
+			}
+		}
+	}
+}
+
+func TestInsertSelectAndCoercion(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec("CREATE TABLE COPY (PosID INTEGER, EmpName VARCHAR(40), T1 DATE, T2 DATE)"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.Exec("INSERT INTO COPY SELECT * FROM POSITION")
+	if err != nil || n != 3 {
+		t.Fatalf("insert-select: n=%d err=%v", n, err)
+	}
+	r := queryAll(t, db, "SELECT T1 FROM COPY WHERE PosID = 2")
+	if r.Tuples[0][0].Kind() != types.KindDate {
+		t.Errorf("int not coerced to date: %v", r.Tuples[0][0].Kind())
+	}
+}
+
+func TestIndexRangeScan(t *testing.T) {
+	db := Open(Config{})
+	if _, err := db.Exec("CREATE TABLE T (K INTEGER, V VARCHAR(10))"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := db.Insert("T", types.Tuple{types.Int(int64(i)), types.Str(fmt.Sprint(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec("CREATE INDEX tk ON T (K)"); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT K FROM T WHERE K = 250", 1},
+		{"SELECT K FROM T WHERE K < 10", 10},
+		{"SELECT K FROM T WHERE K <= 10", 11},
+		{"SELECT K FROM T WHERE K > 489", 10},
+		{"SELECT K FROM T WHERE K >= 489", 11},
+		{"SELECT K FROM T WHERE 489 < K", 10},
+		{"SELECT K FROM T WHERE K > 100 AND K < 103", 2},
+	} {
+		r := queryAll(t, db, q.sql)
+		if r.Cardinality() != q.want {
+			t.Errorf("%s: %d rows, want %d", q.sql, r.Cardinality(), q.want)
+		}
+	}
+}
+
+func TestAnalyzeStatistics(t *testing.T) {
+	db := testDB(t)
+	stats, err := db.Analyze("POSITION", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cardinality != 3 || stats.Blocks < 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	cs := stats.Column("PosID")
+	if cs == nil || cs.Distinct != 2 || cs.Min.AsInt() != 1 || cs.Max.AsInt() != 2 {
+		t.Fatalf("PosID stats: %+v", cs)
+	}
+	// With histograms.
+	stats, err = db.Analyze("POSITION", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Column("T1").Histogram == nil {
+		t.Error("expected histogram on T1")
+	}
+	if stats.Column("EmpName").Histogram != nil {
+		t.Error("no histogram expected on strings")
+	}
+}
+
+func TestDDLErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec("CREATE TABLE POSITION (X INTEGER)"); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if _, err := db.Exec("DROP TABLE NOPE"); err == nil {
+		t.Error("drop missing should fail")
+	}
+	if _, err := db.Exec("DROP TABLE IF EXISTS NOPE"); err != nil {
+		t.Errorf("drop if exists: %v", err)
+	}
+	if _, err := db.Query("SELECT Nope FROM POSITION"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := db.Query("SELECT * FROM NOPE"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := db.Exec("INSERT INTO POSITION VALUES (1)"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := db.Query("SELECT EmpName, COUNT(*) FROM POSITION GROUP BY PosID"); err == nil {
+		t.Error("non-grouped column should fail")
+	}
+}
+
+func TestDropTableRemovesData(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec("DROP TABLE EMP"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT * FROM EMP"); err == nil {
+		t.Error("query after drop should fail")
+	}
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "POSITION" {
+		t.Errorf("tables = %v", names)
+	}
+}
+
+func TestJoinMethodsLargeRandom(t *testing.T) {
+	db := Open(Config{})
+	db.Exec("CREATE TABLE A (K INTEGER, X INTEGER)")
+	db.Exec("CREATE TABLE B (K INTEGER, Y INTEGER)")
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 400; i++ {
+		db.Insert("A", types.Tuple{types.Int(rng.Int63n(50)), types.Int(int64(i))})
+	}
+	for i := 0; i < 300; i++ {
+		db.Insert("B", types.Tuple{types.Int(rng.Int63n(50)), types.Int(int64(i))})
+	}
+	want := queryAll(t, db, "SELECT A.X, B.Y FROM A, B WHERE A.K = B.K")
+	for _, hint := range []string{"/*+ USE_NL */", "/*+ USE_MERGE */", "/*+ USE_HASH */"} {
+		got := queryAll(t, db, "SELECT "+hint+" A.X, B.Y FROM A, B WHERE A.K = B.K")
+		if !rel.EqualAsMultisets(want, got) {
+			t.Errorf("%s join disagrees on random data (want %d rows, got %d)",
+				hint, want.Cardinality(), got.Cardinality())
+		}
+	}
+	if want.Cardinality() == 0 {
+		t.Error("test data produced no join matches")
+	}
+}
+
+func TestBetweenAndIsNull(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT EmpName FROM POSITION WHERE T1 BETWEEN 3 AND 6")
+	if r.Cardinality() != 2 {
+		t.Fatalf("between: %v", r)
+	}
+	db.Exec("INSERT INTO POSITION (PosID, EmpName) VALUES (3, 'Ann')")
+	r = queryAll(t, db, "SELECT EmpName FROM POSITION WHERE T1 IS NULL")
+	if r.Cardinality() != 1 || r.Tuples[0][0].AsString() != "Ann" {
+		t.Fatalf("is null: %v", r)
+	}
+	r = queryAll(t, db, "SELECT COUNT(T1) FROM POSITION")
+	if r.Tuples[0][0].AsInt() != 3 {
+		t.Errorf("COUNT should skip NULLs: %v", r)
+	}
+}
+
+func TestOrderByDescMulti(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT PosID, T1 FROM POSITION ORDER BY PosID DESC, T1 ASC")
+	if r.Tuples[0][0].AsInt() != 2 {
+		t.Fatalf("desc order: %v", r)
+	}
+	if r.Tuples[1][1].AsInt() != 2 || r.Tuples[2][1].AsInt() != 5 {
+		t.Errorf("secondary asc order: %v", r)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT T1 FROM POSITION ORDER BY T1 LIMIT 2")
+	if r.Cardinality() != 2 || r.Tuples[0][0].AsInt() != 2 || r.Tuples[1][0].AsInt() != 5 {
+		t.Fatalf("limit: %v", r)
+	}
+	// LIMIT larger than the result is a no-op.
+	r = queryAll(t, db, "SELECT T1 FROM POSITION LIMIT 100")
+	if r.Cardinality() != 3 {
+		t.Fatalf("big limit: %v", r)
+	}
+	// LIMIT over a union applies to the whole result.
+	r = queryAll(t, db, "SELECT T1 AS t FROM POSITION UNION ALL SELECT T2 AS t FROM POSITION ORDER BY t LIMIT 4")
+	if r.Cardinality() != 4 {
+		t.Fatalf("union limit: %v", r)
+	}
+	if _, err := db.Query("SELECT T1 FROM POSITION LIMIT -1"); err == nil {
+		t.Error("negative limit should fail to parse")
+	}
+}
+
+func TestOrderByOutputAlias(t *testing.T) {
+	db := testDB(t)
+	r := queryAll(t, db, "SELECT PosID, COUNT(*) AS N FROM POSITION GROUP BY PosID ORDER BY N DESC")
+	if r.Cardinality() != 2 || r.Tuples[0][1].AsInt() != 2 {
+		t.Fatalf("order by alias: %v", r)
+	}
+}

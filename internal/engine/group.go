@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+
+	"tango/internal/rel"
+	"tango/internal/types"
+)
+
+// aggSpec describes one aggregate computed by a groupIter.
+type aggSpec struct {
+	name     string   // COUNT, SUM, AVG, MIN, MAX
+	arg      evalFunc // nil for COUNT(*)
+	distinct bool
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	spec  *aggSpec
+	count int64
+	sum   types.Value
+	min   types.Value
+	max   types.Value
+	seen  map[string]bool // for DISTINCT
+}
+
+func newAggState(spec *aggSpec) *aggState {
+	s := &aggState{spec: spec}
+	if spec.distinct {
+		s.seen = map[string]bool{}
+	}
+	return s
+}
+
+func (s *aggState) add(t types.Tuple) error {
+	var v types.Value
+	if s.spec.arg == nil {
+		// COUNT(*): every row counts.
+		s.count++
+		return nil
+	}
+	v, err := s.spec.arg(t)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // SQL aggregates ignore NULLs
+	}
+	if s.seen != nil {
+		k := canonicalKey(types.Tuple{v})
+		if s.seen[k] {
+			return nil
+		}
+		s.seen[k] = true
+	}
+	s.count++
+	switch s.spec.name {
+	case "SUM", "AVG":
+		if s.sum.IsNull() {
+			s.sum = v
+		} else {
+			s.sum = types.Add(s.sum, v)
+		}
+	case "MIN":
+		if s.min.IsNull() || types.Less(v, s.min) {
+			s.min = v
+		}
+	case "MAX":
+		if s.max.IsNull() || types.Less(s.max, v) {
+			s.max = v
+		}
+	}
+	return nil
+}
+
+func (s *aggState) result() types.Value {
+	switch s.spec.name {
+	case "COUNT":
+		return types.Int(s.count)
+	case "SUM":
+		return s.sum
+	case "AVG":
+		if s.count == 0 {
+			return types.Null
+		}
+		return types.Float(s.sum.AsFloat() / float64(s.count))
+	case "MIN":
+		return s.min
+	case "MAX":
+		return s.max
+	}
+	return types.Null
+}
+
+// groupIter implements hash aggregation. Its output schema is the
+// group-key expressions followed by the aggregate results; the select
+// planner rewrites the select list against this internal schema.
+type groupIter struct {
+	in      rel.Iterator
+	keys    []evalFunc
+	aggs    []*aggSpec
+	schema  types.Schema
+	results []types.Tuple
+	pos     int
+	// global reports a grand aggregate (no GROUP BY): exactly one
+	// output row even for empty input.
+	global bool
+}
+
+func newGroup(in rel.Iterator, keys []evalFunc, aggs []*aggSpec, schema types.Schema) *groupIter {
+	return &groupIter{in: in, keys: keys, aggs: aggs, schema: schema, global: len(keys) == 0}
+}
+
+func (g *groupIter) Schema() types.Schema { return g.schema }
+
+func (g *groupIter) Open() error {
+	if err := g.in.Open(); err != nil {
+		return err
+	}
+	type groupState struct {
+		key    types.Tuple
+		states []*aggState
+	}
+	groups := map[string]*groupState{}
+	var order []string // preserve first-seen order
+	for {
+		t, ok, err := g.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := make(types.Tuple, len(g.keys))
+		for i, k := range g.keys {
+			v, err := k(t)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		kstr := canonicalKey(key)
+		gs, ok2 := groups[kstr]
+		if !ok2 {
+			gs = &groupState{key: key}
+			for _, a := range g.aggs {
+				gs.states = append(gs.states, newAggState(a))
+			}
+			groups[kstr] = gs
+			order = append(order, kstr)
+		}
+		for _, st := range gs.states {
+			if err := st.add(t); err != nil {
+				return err
+			}
+		}
+	}
+	if err := g.in.Close(); err != nil {
+		return err
+	}
+	g.results = g.results[:0]
+	g.pos = 0
+	if g.global && len(groups) == 0 {
+		// Grand aggregate over empty input: one row of empty-group
+		// results (COUNT=0, others NULL).
+		row := make(types.Tuple, 0, len(g.aggs))
+		for _, a := range g.aggs {
+			row = append(row, newAggState(a).result())
+		}
+		g.results = append(g.results, row)
+		return nil
+	}
+	for _, kstr := range order {
+		gs := groups[kstr]
+		row := make(types.Tuple, 0, len(gs.key)+len(gs.states))
+		row = append(row, gs.key...)
+		for _, st := range gs.states {
+			row = append(row, st.result())
+		}
+		g.results = append(g.results, row)
+	}
+	return nil
+}
+
+func (g *groupIter) Next() (types.Tuple, bool, error) {
+	if g.pos >= len(g.results) {
+		return nil, false, nil
+	}
+	t := g.results[g.pos]
+	g.pos++
+	return t, true, nil
+}
+
+func (g *groupIter) Close() error {
+	g.results = nil
+	return nil
+}
+
+// validateAggArity checks aggregate argument counts.
+func validateAgg(name string, nargs int) error {
+	if name == "COUNT" {
+		if nargs != 1 {
+			return fmt.Errorf("engine: COUNT takes one argument or *")
+		}
+		return nil
+	}
+	if nargs != 1 {
+		return fmt.Errorf("engine: %s takes exactly one argument", name)
+	}
+	return nil
+}

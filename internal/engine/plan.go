@@ -1,0 +1,791 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"tango/internal/rel"
+	"tango/internal/sqlast"
+	"tango/internal/types"
+)
+
+// planSelect builds an iterator tree for a SELECT statement, including
+// any UNION chain and the trailing ORDER BY.
+func (db *DB) planSelect(s *sqlast.SelectStmt) (rel.Iterator, error) {
+	it, err := db.planCore(s)
+	if err != nil {
+		return nil, err
+	}
+	// UNION chain.
+	if s.Union != nil {
+		right, err := db.planSelect(&sqlast.SelectStmt{
+			Hint: s.Union.Hint, Distinct: s.Union.Distinct, Items: s.Union.Items,
+			From: s.Union.From, Where: s.Union.Where, GroupBy: s.Union.GroupBy,
+			Having: s.Union.Having, Union: s.Union.Union, UnionAll: s.Union.UnionAll,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if it.Schema().Len() != right.Schema().Len() {
+			return nil, fmt.Errorf("engine: UNION arity mismatch: %d vs %d",
+				it.Schema().Len(), right.Schema().Len())
+		}
+		u := newUnionAll(it, right)
+		if s.UnionAll {
+			it = u
+		} else {
+			it = newDistinct(u)
+		}
+	}
+	// ORDER BY applies to the whole result.
+	if len(s.OrderBy) > 0 {
+		sorted, err := applyOrderBy(it, s.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		it = sorted
+	}
+	if s.Limit > 0 {
+		it = &limitIter{in: it, n: s.Limit}
+	}
+	return it, nil
+}
+
+// limitIter caps the result at n rows.
+type limitIter struct {
+	in   rel.Iterator
+	n    int64
+	seen int64
+}
+
+func (l *limitIter) Schema() types.Schema { return l.in.Schema() }
+func (l *limitIter) Open() error          { l.seen = 0; return l.in.Open() }
+func (l *limitIter) Close() error         { return l.in.Close() }
+
+func (l *limitIter) Next() (types.Tuple, bool, error) {
+	if l.seen >= l.n {
+		return nil, false, nil
+	}
+	t, ok, err := l.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return t, true, nil
+}
+
+func applyOrderBy(it rel.Iterator, order []sqlast.OrderItem) (rel.Iterator, error) {
+	keys := make([]evalFunc, len(order))
+	descs := make([]bool, len(order))
+	for i, o := range order {
+		k, err := compileExpr(o.Expr, it.Schema())
+		if err != nil {
+			// The projection strips qualifiers, so "ORDER BY P.PosID"
+			// over an output column PosID needs a dequalified retry.
+			k2, err2 := compileExpr(stripQualifiers(o.Expr), it.Schema())
+			if err2 != nil {
+				return nil, err
+			}
+			k = k2
+		}
+		keys[i] = k
+		descs[i] = o.Desc
+	}
+	return newSort(it, keys, descs), nil
+}
+
+// stripQualifiers removes table qualifiers from every column reference
+// in the expression.
+func stripQualifiers(e sqlast.Expr) sqlast.Expr {
+	switch x := e.(type) {
+	case sqlast.ColumnRef:
+		return sqlast.ColumnRef{Name: x.Name}
+	case sqlast.BinaryExpr:
+		return sqlast.BinaryExpr{Op: x.Op, Left: stripQualifiers(x.Left), Right: stripQualifiers(x.Right)}
+	case sqlast.UnaryExpr:
+		return sqlast.UnaryExpr{Op: x.Op, Operand: stripQualifiers(x.Operand)}
+	case sqlast.FuncCall:
+		args := make([]sqlast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = stripQualifiers(a)
+		}
+		return sqlast.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct}
+	case sqlast.Between:
+		return sqlast.Between{Expr: stripQualifiers(x.Expr), Lo: stripQualifiers(x.Lo), Hi: stripQualifiers(x.Hi), Not: x.Not}
+	case sqlast.IsNull:
+		return sqlast.IsNull{Expr: stripQualifiers(x.Expr), Not: x.Not}
+	default:
+		return e
+	}
+}
+
+// planCore plans one SELECT block (no UNION, no ORDER BY).
+func (db *DB) planCore(s *sqlast.SelectStmt) (rel.Iterator, error) {
+	// 1. FROM sources.
+	sources, err := db.planSources(s)
+	if err != nil {
+		return nil, err
+	}
+
+	conjuncts := sqlast.Conjuncts(s.Where)
+	used := make([]bool, len(conjuncts))
+
+	// 2. Push single-source predicates down.
+	for si := range sources {
+		var pushed []sqlast.Expr
+		for ci, c := range conjuncts {
+			if used[ci] {
+				continue
+			}
+			if refersOnly(c, sources[si].Schema()) && !resolvesElsewhere(c, sources, si) {
+				pushed = append(pushed, c)
+				used[ci] = true
+			}
+		}
+		if len(pushed) > 0 {
+			src, err := db.applySelection(sources[si], pushed)
+			if err != nil {
+				return nil, err
+			}
+			sources[si] = src
+		}
+	}
+
+	// 3. Join left-deep in FROM order.
+	it := sources[0]
+	for si := 1; si < len(sources); si++ {
+		joined, err := db.join(s.Hint, it, sources[si], conjuncts, used)
+		if err != nil {
+			return nil, err
+		}
+		it = joined
+	}
+
+	// 4. Remaining predicates.
+	var rest []sqlast.Expr
+	for ci, c := range conjuncts {
+		if !used[ci] {
+			rest = append(rest, c)
+		}
+	}
+	if len(rest) > 0 {
+		pred, err := compileExpr(sqlast.AndAll(rest), it.Schema())
+		if err != nil {
+			return nil, err
+		}
+		it = newFilter(it, pred)
+	}
+
+	// 5. Aggregation.
+	hasAgg := len(s.GroupBy) > 0 || s.Having != nil
+	for _, item := range s.Items {
+		if sqlast.HasAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+	var itemExprs []evalFunc
+	var outSchema types.Schema
+	if hasAgg {
+		grouped, gCtx, err := db.planGroup(it, s)
+		if err != nil {
+			return nil, err
+		}
+		it = grouped
+		// HAVING.
+		if s.Having != nil {
+			pred, err := gCtx.compile(s.Having)
+			if err != nil {
+				return nil, err
+			}
+			it = newFilter(it, pred)
+		}
+		outSchema, itemExprs, err = gCtx.projectItems(s.Items)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		outSchema, itemExprs, err = planProjection(s.Items, it.Schema())
+		if err != nil {
+			return nil, err
+		}
+	}
+	it = newProject(it, outSchema, itemExprs)
+
+	// 6. DISTINCT.
+	if s.Distinct {
+		it = newDistinct(it)
+	}
+	return it, nil
+}
+
+// planSources builds one iterator per FROM entry; schemas are
+// qualified by alias (or table name).
+func (db *DB) planSources(s *sqlast.SelectStmt) ([]rel.Iterator, error) {
+	if len(s.From) == 0 {
+		// "SELECT expr" with no FROM: one empty row.
+		return []rel.Iterator{&dualIter{}}, nil
+	}
+	sources := make([]rel.Iterator, len(s.From))
+	for i, ref := range s.From {
+		switch r := ref.(type) {
+		case sqlast.TableName:
+			t, err := db.Table(r.Name)
+			if err != nil {
+				return nil, err
+			}
+			q := r.Alias
+			if q == "" {
+				q = r.Name
+			}
+			sources[i] = newHeapScan(t, q)
+		case sqlast.Derived:
+			sub, err := db.planSelect(r.Select)
+			if err != nil {
+				return nil, err
+			}
+			sources[i] = &renameIter{in: sub, schema: sub.Schema().Unqualified().Qualify(r.Alias)}
+		default:
+			return nil, fmt.Errorf("engine: unsupported FROM entry %T", ref)
+		}
+	}
+	return sources, nil
+}
+
+// resolvesElsewhere reports whether e's columns could also all resolve
+// against a different source (ambiguity guard for unqualified names).
+func resolvesElsewhere(e sqlast.Expr, sources []rel.Iterator, self int) bool {
+	for i, src := range sources {
+		if i == self {
+			continue
+		}
+		if refersOnly(e, src.Schema()) {
+			return true
+		}
+	}
+	return false
+}
+
+// applySelection applies predicates to a source, using an index range
+// scan when the source is a plain table scan and a predicate compares
+// an indexed column with a literal.
+func (db *DB) applySelection(src rel.Iterator, preds []sqlast.Expr) (rel.Iterator, error) {
+	if hs, ok := src.(*heapScan); ok {
+		if it, rest, ok2 := tryIndexScan(hs, preds); ok2 {
+			preds = rest
+			src = it
+		}
+	}
+	if len(preds) == 0 {
+		return src, nil
+	}
+	pred, err := compileExpr(sqlast.AndAll(preds), src.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return newFilter(src, pred), nil
+}
+
+// tryIndexScan converts one "col op literal" predicate on an indexed
+// column into an index range scan, returning the remaining predicates.
+func tryIndexScan(hs *heapScan, preds []sqlast.Expr) (rel.Iterator, []sqlast.Expr, bool) {
+	for i, p := range preds {
+		b, ok := p.(sqlast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		cr, okL := b.Left.(sqlast.ColumnRef)
+		lit, okR := b.Right.(sqlast.Literal)
+		op := b.Op
+		if !okL || !okR {
+			// literal op col form
+			if lit2, okL2 := b.Left.(sqlast.Literal); okL2 {
+				if cr2, okR2 := b.Right.(sqlast.ColumnRef); okR2 {
+					cr, lit = cr2, lit2
+					op = flipOp(b.Op)
+					okL, okR = true, true
+				}
+			}
+		}
+		if !okL || !okR {
+			continue
+		}
+		if hs.table.Index(cr.Name) == nil {
+			continue
+		}
+		var lo, hi types.Value
+		hiIncl := true
+		switch op {
+		case sqlast.OpEq:
+			lo, hi = lit.Value, lit.Value
+		case sqlast.OpLt:
+			hi, hiIncl = lit.Value, false
+		case sqlast.OpLe:
+			hi = lit.Value
+		case sqlast.OpGt:
+			// Exclusive lower bound is approximated by keeping the
+			// predicate as a residual filter over an inclusive scan.
+			lo = lit.Value
+		case sqlast.OpGe:
+			lo = lit.Value
+		default:
+			continue
+		}
+		rest := make([]sqlast.Expr, 0, len(preds)-1)
+		rest = append(rest, preds[:i]...)
+		rest = append(rest, preds[i+1:]...)
+		if op == sqlast.OpGt {
+			rest = append(rest, p) // residual for exclusivity
+		}
+		q := strings.SplitN(hs.schema.Cols[0].Name, ".", 2)[0]
+		return newIndexScan(hs.table, q, cr.Name, lo, hi, hiIncl), rest, true
+	}
+	return nil, preds, false
+}
+
+func flipOp(op sqlast.BinaryOp) sqlast.BinaryOp {
+	switch op {
+	case sqlast.OpLt:
+		return sqlast.OpGt
+	case sqlast.OpLe:
+		return sqlast.OpGe
+	case sqlast.OpGt:
+		return sqlast.OpLt
+	case sqlast.OpGe:
+		return sqlast.OpLe
+	}
+	return op
+}
+
+// join combines the current tree with the next source, consuming
+// applicable conjuncts. The method follows the statement hint, else
+// hash join for equi-joins and block nested loop otherwise.
+func (db *DB) join(hint sqlast.JoinHint, left, right rel.Iterator, conjuncts []sqlast.Expr, used []bool) (rel.Iterator, error) {
+	combined := left.Schema().Concat(right.Schema())
+	// Applicable: unresolved so far, resolves on the combined schema.
+	var applicable []int
+	for ci, c := range conjuncts {
+		if !used[ci] && refersOnly(c, combined) {
+			applicable = append(applicable, ci)
+		}
+	}
+	// Equi pairs: left expr from left schema, right expr from right.
+	type equi struct{ l, r sqlast.Expr }
+	var equis []equi
+	var equiIdx []int
+	var residualIdx []int
+	for _, ci := range applicable {
+		b, ok := conjuncts[ci].(sqlast.BinaryExpr)
+		if ok && b.Op == sqlast.OpEq {
+			switch {
+			case refersOnly(b.Left, left.Schema()) && refersOnly(b.Right, right.Schema()):
+				equis = append(equis, equi{b.Left, b.Right})
+				equiIdx = append(equiIdx, ci)
+				continue
+			case refersOnly(b.Right, left.Schema()) && refersOnly(b.Left, right.Schema()):
+				equis = append(equis, equi{b.Right, b.Left})
+				equiIdx = append(equiIdx, ci)
+				continue
+			}
+		}
+		residualIdx = append(residualIdx, ci)
+	}
+
+	compileResidual := func(idx []int) (evalFunc, error) {
+		if len(idx) == 0 {
+			return nil, nil
+		}
+		var es []sqlast.Expr
+		for _, ci := range idx {
+			es = append(es, conjuncts[ci])
+		}
+		return compileExpr(sqlast.AndAll(es), combined)
+	}
+
+	markUsed := func(idx ...[]int) {
+		for _, list := range idx {
+			for _, ci := range list {
+				used[ci] = true
+			}
+		}
+	}
+
+	switch hint {
+	case sqlast.HintNestedLoop:
+		// Index nested loop when the inner (right) side is a base-table
+		// scan with an index on an equi-join column.
+		if hs, ok := right.(*heapScan); ok {
+			for ei, e := range equis {
+				cr, okCR := e.r.(sqlast.ColumnRef)
+				if !okCR || hs.table.Index(cr.Name) == nil {
+					continue
+				}
+				outerKey, err := compileExpr(e.l, left.Schema())
+				if err != nil {
+					return nil, err
+				}
+				// Other equis plus residuals become the residual filter.
+				var others []int
+				for k, ci := range equiIdx {
+					if k != ei {
+						others = append(others, ci)
+					}
+				}
+				others = append(others, residualIdx...)
+				residual, err := compileResidual(others)
+				if err != nil {
+					return nil, err
+				}
+				markUsed(equiIdx, residualIdx)
+				q := strings.SplitN(hs.schema.Cols[0].Name, ".", 2)[0]
+				return newIndexNLJoin(left, hs.table, q, cr.Name, outerKey, residual), nil
+			}
+		}
+		residual, err := compileResidual(applicable)
+		if err != nil {
+			return nil, err
+		}
+		markUsed(applicable)
+		return newNLJoin(left, right, residual), nil
+
+	case sqlast.HintMerge:
+		if len(equis) > 0 {
+			lk, err := compileExpr(equis[0].l, left.Schema())
+			if err != nil {
+				return nil, err
+			}
+			rk, err := compileExpr(equis[0].r, right.Schema())
+			if err != nil {
+				return nil, err
+			}
+			var others []int
+			others = append(others, equiIdx[1:]...)
+			others = append(others, residualIdx...)
+			residual, err := compileResidual(others)
+			if err != nil {
+				return nil, err
+			}
+			markUsed(equiIdx, residualIdx)
+			return newMergeJoin(left, right, lk, rk, residual), nil
+		}
+		// No equi predicate: fall back to nested loop.
+		residual, err := compileResidual(applicable)
+		if err != nil {
+			return nil, err
+		}
+		markUsed(applicable)
+		return newNLJoin(left, right, residual), nil
+
+	default: // HintHash or no hint
+		if len(equis) > 0 {
+			var lks, rks []evalFunc
+			for _, e := range equis {
+				lk, err := compileExpr(e.l, left.Schema())
+				if err != nil {
+					return nil, err
+				}
+				rk, err := compileExpr(e.r, right.Schema())
+				if err != nil {
+					return nil, err
+				}
+				lks = append(lks, lk)
+				rks = append(rks, rk)
+			}
+			residual, err := compileResidual(residualIdx)
+			if err != nil {
+				return nil, err
+			}
+			markUsed(equiIdx, residualIdx)
+			return newHashJoin(left, right, lks, rks, residual), nil
+		}
+		residual, err := compileResidual(applicable)
+		if err != nil {
+			return nil, err
+		}
+		markUsed(applicable)
+		return newNLJoin(left, right, residual), nil
+	}
+}
+
+// planProjection compiles the select list without aggregation.
+func planProjection(items []sqlast.SelectItem, in types.Schema) (types.Schema, []evalFunc, error) {
+	var cols []types.Column
+	var exprs []evalFunc
+	for i, item := range items {
+		switch x := item.Expr.(type) {
+		case sqlast.Star:
+			for ci := range in.Cols {
+				idx := ci
+				cols = append(cols, types.Column{
+					Name: unqualify(in.Cols[ci].Name),
+					Kind: in.Cols[ci].Kind,
+				})
+				exprs = append(exprs, func(t types.Tuple) (types.Value, error) { return t[idx], nil })
+			}
+		case sqlast.ColumnRef:
+			if x.Name == "*" {
+				// tab.* form.
+				prefix := strings.ToUpper(x.Table) + "."
+				found := false
+				for ci := range in.Cols {
+					if strings.HasPrefix(strings.ToUpper(in.Cols[ci].Name), prefix) {
+						idx := ci
+						cols = append(cols, types.Column{
+							Name: unqualify(in.Cols[ci].Name),
+							Kind: in.Cols[ci].Kind,
+						})
+						exprs = append(exprs, func(t types.Tuple) (types.Value, error) { return t[idx], nil })
+						found = true
+					}
+				}
+				if !found {
+					return types.Schema{}, nil, fmt.Errorf("engine: no columns for %s.*", x.Table)
+				}
+				continue
+			}
+			f, err := compileExpr(x, in)
+			if err != nil {
+				return types.Schema{}, nil, err
+			}
+			cols = append(cols, types.Column{Name: outputName(item, i), Kind: inferKind(x, in)})
+			exprs = append(exprs, f)
+		default:
+			f, err := compileExpr(item.Expr, in)
+			if err != nil {
+				return types.Schema{}, nil, err
+			}
+			cols = append(cols, types.Column{Name: outputName(item, i), Kind: inferKind(item.Expr, in)})
+			exprs = append(exprs, f)
+		}
+	}
+	return types.Schema{Cols: cols}, exprs, nil
+}
+
+func unqualify(name string) string {
+	if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+		return name[dot+1:]
+	}
+	return name
+}
+
+// --- Grouping context ---
+
+// groupCtx rewrites post-aggregation expressions against the
+// groupIter's internal schema.
+type groupCtx struct {
+	groupKeys []sqlast.Expr
+	aggs      []sqlast.FuncCall
+	internal  types.Schema
+	inSchema  types.Schema
+}
+
+// planGroup builds the groupIter for a SELECT with aggregation.
+func (db *DB) planGroup(in rel.Iterator, s *sqlast.SelectStmt) (rel.Iterator, *groupCtx, error) {
+	inSchema := in.Schema()
+	// Collect aggregate calls appearing anywhere downstream.
+	var aggCalls []sqlast.FuncCall
+	seen := map[string]bool{}
+	collect := func(e sqlast.Expr) {
+		sqlast.Walk(e, func(x sqlast.Expr) bool {
+			if f, ok := x.(sqlast.FuncCall); ok && sqlast.IsAggregateName(f.Name) {
+				k := exprKey(f)
+				if !seen[k] {
+					seen[k] = true
+					aggCalls = append(aggCalls, f)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for _, item := range s.Items {
+		collect(item.Expr)
+	}
+	if s.Having != nil {
+		collect(s.Having)
+	}
+	for _, o := range s.OrderBy {
+		collect(o.Expr)
+	}
+
+	keys := make([]evalFunc, len(s.GroupBy))
+	var cols []types.Column
+	for i, g := range s.GroupBy {
+		k, err := compileExpr(g, inSchema)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys[i] = k
+		name := g.String()
+		if cr, ok := g.(sqlast.ColumnRef); ok {
+			name = cr.String()
+		}
+		cols = append(cols, types.Column{Name: name, Kind: inferKind(g, inSchema)})
+	}
+	var specs []*aggSpec
+	for ai, f := range aggCalls {
+		if err := validateAgg(f.Name, len(f.Args)); err != nil {
+			return nil, nil, err
+		}
+		spec := &aggSpec{name: f.Name, distinct: f.Distinct}
+		if _, isStar := f.Args[0].(sqlast.Star); !isStar {
+			arg, err := compileExpr(f.Args[0], inSchema)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec.arg = arg
+		}
+		specs = append(specs, spec)
+		cols = append(cols, types.Column{
+			Name: fmt.Sprintf("$agg%d", ai),
+			Kind: inferKind(f, inSchema),
+		})
+	}
+	internal := types.Schema{Cols: cols}
+	g := newGroup(in, keys, specs, internal)
+	return g, &groupCtx{groupKeys: s.GroupBy, aggs: aggCalls, internal: internal, inSchema: inSchema}, nil
+}
+
+// compile rewrites an expression against the internal grouped schema:
+// group-key expressions and aggregate calls become column references.
+func (c *groupCtx) compile(e sqlast.Expr) (evalFunc, error) {
+	rewritten, err := c.rewrite(e)
+	if err != nil {
+		return nil, err
+	}
+	return compileExpr(rewritten, c.internal)
+}
+
+func (c *groupCtx) rewrite(e sqlast.Expr) (sqlast.Expr, error) {
+	key := exprKey(e)
+	for i, g := range c.groupKeys {
+		if exprKey(g) == key {
+			return sqlast.ColumnRef{Name: c.internal.Cols[i].Name}, nil
+		}
+	}
+	for j, a := range c.aggs {
+		if exprKey(a) == key {
+			return sqlast.ColumnRef{Name: fmt.Sprintf("$agg%d", j)}, nil
+		}
+	}
+	switch x := e.(type) {
+	case sqlast.Literal:
+		return x, nil
+	case sqlast.ColumnRef:
+		// A bare column must match a group key — including the common
+		// case where the key is qualified ("B.PosID") and the select
+		// item is not ("PosID"), or vice versa.
+		for i, g := range c.groupKeys {
+			if gr, ok := g.(sqlast.ColumnRef); ok && strings.EqualFold(gr.Name, x.Name) {
+				return sqlast.ColumnRef{Name: c.internal.Cols[i].Name}, nil
+			}
+		}
+		return nil, fmt.Errorf("engine: column %s must appear in GROUP BY or an aggregate", x)
+	case sqlast.BinaryExpr:
+		l, err := c.rewrite(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.rewrite(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.BinaryExpr{Op: x.Op, Left: l, Right: r}, nil
+	case sqlast.UnaryExpr:
+		o, err := c.rewrite(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.UnaryExpr{Op: x.Op, Operand: o}, nil
+	case sqlast.FuncCall:
+		args := make([]sqlast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			ra, err := c.rewrite(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ra
+		}
+		return sqlast.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct}, nil
+	case sqlast.Between:
+		ex, err := c.rewrite(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := c.rewrite(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.rewrite(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.Between{Expr: ex, Lo: lo, Hi: hi, Not: x.Not}, nil
+	case sqlast.IsNull:
+		ex, err := c.rewrite(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.IsNull{Expr: ex, Not: x.Not}, nil
+	default:
+		return nil, fmt.Errorf("engine: cannot rewrite %T after GROUP BY", e)
+	}
+}
+
+// projectItems compiles the select list against the grouped schema.
+func (c *groupCtx) projectItems(items []sqlast.SelectItem) (types.Schema, []evalFunc, error) {
+	var cols []types.Column
+	var exprs []evalFunc
+	for i, item := range items {
+		if _, ok := item.Expr.(sqlast.Star); ok {
+			return types.Schema{}, nil, fmt.Errorf("engine: SELECT * with GROUP BY is not supported")
+		}
+		f, err := c.compile(item.Expr)
+		if err != nil {
+			return types.Schema{}, nil, err
+		}
+		rewritten, _ := c.rewrite(item.Expr)
+		kind := inferKind(rewritten, c.internal)
+		name := outputName(item, i)
+		if item.Alias == "" {
+			if cr, ok := item.Expr.(sqlast.ColumnRef); ok {
+				name = cr.Name
+			} else if fc, ok := item.Expr.(sqlast.FuncCall); ok {
+				name = fc.Name
+			}
+		}
+		cols = append(cols, types.Column{Name: name, Kind: kind})
+		exprs = append(exprs, f)
+	}
+	return types.Schema{Cols: cols}, exprs, nil
+}
+
+// --- helper iterators ---
+
+// dualIter yields exactly one empty tuple ("SELECT 1").
+type dualIter struct{ done bool }
+
+func (dualIter) Schema() types.Schema { return types.Schema{} }
+func (d dualIter) Open() error        { return nil }
+func (d dualIter) Close() error       { return nil }
+
+func (d *dualIter) Next() (types.Tuple, bool, error) {
+	if d.done {
+		return nil, false, nil
+	}
+	d.done = true
+	return types.Tuple{}, true, nil
+}
+
+// renameIter overrides the schema of its input (used to alias derived
+// tables).
+type renameIter struct {
+	in     rel.Iterator
+	schema types.Schema
+}
+
+func (r *renameIter) Schema() types.Schema { return r.schema }
+func (r *renameIter) Open() error          { return r.in.Open() }
+func (r *renameIter) Close() error         { return r.in.Close() }
+func (r *renameIter) Next() (types.Tuple, bool, error) {
+	return r.in.Next()
+}

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tango/internal/types"
+)
+
+// TestEngineAgainstReferenceInterpreter fuzzes simple queries over a
+// random table and checks the engine against a direct Go computation.
+func TestEngineAgainstReferenceInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 25; trial++ {
+		db := Open(Config{})
+		if _, err := db.Exec("CREATE TABLE R (A INTEGER, B INTEGER, C INTEGER)"); err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(200)
+		type row struct{ a, b, c int64 }
+		rows := make([]row, n)
+		for i := range rows {
+			rows[i] = row{rng.Int63n(10), rng.Int63n(50), rng.Int63n(1000)}
+			if err := db.Insert("R", types.Tuple{
+				types.Int(rows[i].a), types.Int(rows[i].b), types.Int(rows[i].c),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Query family 1: filter + projection.
+		cut := rng.Int63n(50)
+		got, err := db.QueryAll(fmt.Sprintf("SELECT A, C FROM R WHERE B < %d", cut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []row
+		for _, r := range rows {
+			if r.b < cut {
+				want = append(want, r)
+			}
+		}
+		if got.Cardinality() != len(want) {
+			t.Fatalf("trial %d filter: %d rows, want %d", trial, got.Cardinality(), len(want))
+		}
+
+		// Query family 2: grouped aggregates.
+		got, err = db.QueryAll("SELECT A, COUNT(*), SUM(B), MIN(C), MAX(C) FROM R GROUP BY A ORDER BY A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		type agg struct {
+			count, sum, min, max int64
+		}
+		ref := map[int64]*agg{}
+		for _, r := range rows {
+			g, ok := ref[r.a]
+			if !ok {
+				g = &agg{min: r.c, max: r.c}
+				ref[r.a] = g
+			}
+			g.count++
+			g.sum += r.b
+			if r.c < g.min {
+				g.min = r.c
+			}
+			if r.c > g.max {
+				g.max = r.c
+			}
+		}
+		if got.Cardinality() != len(ref) {
+			t.Fatalf("trial %d groups: %d, want %d", trial, got.Cardinality(), len(ref))
+		}
+		for _, tr := range got.Tuples {
+			g := ref[tr[0].AsInt()]
+			if g == nil || tr[1].AsInt() != g.count || tr[2].AsInt() != g.sum ||
+				tr[3].AsInt() != g.min || tr[4].AsInt() != g.max {
+				t.Fatalf("trial %d group row %v vs %+v", trial, tr, g)
+			}
+		}
+
+		// Query family 3: self equi-join cardinality.
+		got, err = db.QueryAll("SELECT X.C FROM R X, R Y WHERE X.A = Y.A AND X.B < Y.B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		joinWant := 0
+		for _, x := range rows {
+			for _, y := range rows {
+				if x.a == y.a && x.b < y.b {
+					joinWant++
+				}
+			}
+		}
+		if got.Cardinality() != joinWant {
+			t.Fatalf("trial %d join: %d rows, want %d", trial, got.Cardinality(), joinWant)
+		}
+
+		// Query family 4: DISTINCT + ORDER BY + LIMIT.
+		limit := 1 + rng.Intn(5)
+		got, err = db.QueryAll(fmt.Sprintf("SELECT DISTINCT A FROM R ORDER BY A LIMIT %d", limit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var distinct []int64
+		seen := map[int64]bool{}
+		for _, r := range rows {
+			if !seen[r.a] {
+				seen[r.a] = true
+				distinct = append(distinct, r.a)
+			}
+		}
+		sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+		wantN := limit
+		if wantN > len(distinct) {
+			wantN = len(distinct)
+		}
+		if got.Cardinality() != wantN {
+			t.Fatalf("trial %d distinct-limit: %d, want %d", trial, got.Cardinality(), wantN)
+		}
+		for i := 0; i < wantN; i++ {
+			if got.Tuples[i][0].AsInt() != distinct[i] {
+				t.Fatalf("trial %d distinct order: %v vs %v", trial, got.Tuples[i][0], distinct[i])
+			}
+		}
+
+		// Query family 5: UNION semantics.
+		got, err = db.QueryAll("SELECT A AS v FROM R UNION SELECT B AS v FROM R")
+		if err != nil {
+			t.Fatal(err)
+		}
+		uset := map[int64]bool{}
+		for _, r := range rows {
+			uset[r.a] = true
+			uset[r.b] = true
+		}
+		if got.Cardinality() != len(uset) {
+			t.Fatalf("trial %d union: %d, want %d", trial, got.Cardinality(), len(uset))
+		}
+	}
+}
+
+// TestEngineHavingAgainstReference checks HAVING against reference
+// counts on random data.
+func TestEngineHavingAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	db := Open(Config{})
+	if _, err := db.Exec("CREATE TABLE H (G INTEGER, V INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int64{}
+	for i := 0; i < 300; i++ {
+		g := rng.Int63n(20)
+		counts[g]++
+		if err := db.Insert("H", types.Tuple{types.Int(g), types.Int(rng.Int63n(5))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.QueryAll("SELECT G FROM H GROUP BY G HAVING COUNT(*) >= 18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, c := range counts {
+		if c >= 18 {
+			want++
+		}
+	}
+	if got.Cardinality() != want {
+		t.Fatalf("having: %d groups, want %d", got.Cardinality(), want)
+	}
+}

@@ -1,0 +1,205 @@
+package eval
+
+import (
+	"testing"
+
+	"tango/internal/sqlast"
+	"tango/internal/sqlparser"
+	"tango/internal/types"
+)
+
+func parseExpr(t *testing.T, src string) sqlast.Expr {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect("SELECT " + src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return sel.Items[0].Expr
+}
+
+var schema = types.NewSchema(
+	types.Column{Name: "A.PosID", Kind: types.KindInt},
+	types.Column{Name: "A.Pay", Kind: types.KindFloat},
+	types.Column{Name: "Name", Kind: types.KindString},
+	types.Column{Name: "T1", Kind: types.KindDate},
+)
+
+var row = types.Tuple{types.Int(3), types.Float(12.5), types.Str("Tom"), types.Date(100)}
+
+func evalStr(t *testing.T, src string) types.Value {
+	t.Helper()
+	f, err := Compile(parseExpr(t, src), schema)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, err := f(row)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	cases := map[string]types.Value{
+		"PosID + 1":              types.Int(4),
+		"A.PosID * 2":            types.Int(6),
+		"Pay / 2":                types.Float(6.25),
+		"Pay > 10":               types.Bool(true),
+		"PosID = 3 AND Pay > 10": types.Bool(true),
+		"PosID = 4 OR Pay > 10":  types.Bool(true),
+		"NOT (PosID = 3)":        types.Bool(false),
+		"GREATEST(PosID, 10)":    types.Int(10),
+		"LEAST(Pay, 3)":          types.Int(3),
+		"T1 + 7":                 types.Date(107),
+		"PosID BETWEEN 1 AND 5":  types.Bool(true),
+		"Name IS NULL":           types.Bool(false),
+		"Name IS NOT NULL":       types.Bool(true),
+		"LENGTH(Name)":           types.Int(3),
+		"ABS(1 - PosID)":         types.Int(2),
+		"MOD(PosID, 2)":          types.Int(1),
+		"COALESCE(NULL, PosID)":  types.Int(3),
+	}
+	for src, want := range cases {
+		got := evalStr(t, src)
+		if !types.Equal(got, want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, src := range []string{"Nope", "B.PosID", "COUNT(PosID)", "NOSUCHFN(1)"} {
+		if _, err := Compile(parseExpr(t, src), schema); err == nil {
+			t.Errorf("compile %q should fail", src)
+		}
+	}
+}
+
+func TestInferKind(t *testing.T) {
+	cases := map[string]types.Kind{
+		"PosID + 1":  types.KindInt,
+		"Pay * 2":    types.KindFloat,
+		"PosID > 1":  types.KindBool,
+		"T1 + 7":     types.KindDate,
+		"Name":       types.KindString,
+		"AVG(PosID)": types.KindFloat,
+	}
+	for src, want := range cases {
+		if got := InferKind(parseExpr(t, src), schema); got != want {
+			t.Errorf("InferKind(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestRefersOnlyAndColumns(t *testing.T) {
+	e := parseExpr(t, "PosID + Pay")
+	if !RefersOnly(e, schema) {
+		t.Error("RefersOnly should hold")
+	}
+	if RefersOnly(parseExpr(t, "PosID + Missing"), schema) {
+		t.Error("RefersOnly should fail on missing column")
+	}
+	cols := ExprColumns(e)
+	if len(cols) != 2 {
+		t.Errorf("ExprColumns = %v", cols)
+	}
+}
+
+func TestExprKeyCanonical(t *testing.T) {
+	a := parseExpr(t, "posid + 1")
+	b := parseExpr(t, "PosID + 1")
+	if ExprKey(a) != ExprKey(b) {
+		t.Error("ExprKey should be case-insensitive")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	nullSchema := types.NewSchema(types.Column{Name: "X", Kind: types.KindInt})
+	nullRow := types.Tuple{types.Null}
+	check := func(src string, want types.Value) {
+		f, err := Compile(parseExpr(t, src), nullSchema)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		v, _ := f(nullRow)
+		if v.Kind() != want.Kind() || !types.Equal(v, want) && !(v.IsNull() && want.IsNull()) {
+			t.Errorf("%q = %v, want %v", src, v, want)
+		}
+	}
+	check("X = 1", types.Null)
+	check("X = 1 AND FALSE", types.Bool(false))
+	check("X = 1 OR TRUE", types.Bool(true))
+	check("X IS NULL", types.Bool(true))
+	check("X + 1", types.Null)
+}
+
+func TestCompileMoreFunctions(t *testing.T) {
+	cases := map[string]types.Value{
+		"GREATEST(PosID, Pay, 20)":   types.Int(20),
+		"LEAST(PosID, Pay, 1)":       types.Int(1),
+		"ABS(Pay - 20)":              types.Float(7.5),
+		"COALESCE(NULL, NULL, Name)": types.Str("Tom"),
+		"MOD(7, 0)":                  types.Null,
+		"-PosID":                     types.Int(-3),
+		"PosID <> 3":                 types.Bool(false),
+		"PosID >= 3 AND PosID <= 3":  types.Bool(true),
+		"NOT (Pay < 0)":              types.Bool(true),
+		"PosID NOT BETWEEN 5 AND 9":  types.Bool(true),
+	}
+	for src, want := range cases {
+		got := evalStr(t, src)
+		if want.IsNull() {
+			if !got.IsNull() {
+				t.Errorf("%q = %v, want NULL", src, got)
+			}
+			continue
+		}
+		if !types.Equal(got, want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestCompileArityErrors(t *testing.T) {
+	for _, src := range []string{
+		"GREATEST(PosID)", "LEAST(Pay)", "ABS(1, 2)", "LENGTH(Name, Name)",
+		"MOD(1)", "SUM(PosID)", "MIN(Pay)",
+	} {
+		if _, err := Compile(parseExpr(t, src), schema); err == nil {
+			t.Errorf("compile %q should fail", src)
+		}
+	}
+}
+
+func TestOutputName(t *testing.T) {
+	sel, err := sqlparser.ParseSelect("SELECT PosID, Pay AS Rate, COUNT(PosID), 1 + 2 FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{"PosID", "Rate", "COUNT", "COL4"}
+	for i, item := range sel.Items {
+		if got := OutputName(item, i); got != wants[i] {
+			t.Errorf("item %d name = %q, want %q", i, got, wants[i])
+		}
+	}
+}
+
+func TestInferKindMore(t *testing.T) {
+	cases := map[string]types.Kind{
+		"PosID BETWEEN 1 AND 2": types.KindBool,
+		"Name IS NULL":          types.KindBool,
+		"NOT (PosID = 1)":       types.KindBool,
+		"-Pay":                  types.KindFloat,
+		"COUNT(PosID)":          types.KindInt,
+		"SUM(Pay)":              types.KindFloat,
+		"MIN(Name)":             types.KindString,
+		"GREATEST(T1, T1)":      types.KindDate,
+		"LENGTH(Name)":          types.KindInt,
+		"5":                     types.KindInt,
+	}
+	for src, want := range cases {
+		if got := InferKind(parseExpr(t, src), schema); got != want {
+			t.Errorf("InferKind(%q) = %v, want %v", src, got, want)
+		}
+	}
+}

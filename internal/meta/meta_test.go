@@ -1,0 +1,144 @@
+package meta
+
+import (
+	"math/rand"
+	"testing"
+
+	"tango/internal/types"
+)
+
+func uniformValues(n int, lo, hi int64, seed int64) []types.Value {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = types.Int(lo + rng.Int63n(hi-lo+1))
+	}
+	return out
+}
+
+func TestBuildHistogramBasics(t *testing.T) {
+	h := BuildHistogram(uniformValues(10000, 0, 999, 1), 10)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	if h.NumBuckets() != 10 || h.Rows != 10000 {
+		t.Fatalf("buckets=%d rows=%d", h.NumBuckets(), h.Rows)
+	}
+	if h.B1(0) > 5 || h.B2(9) < 994 {
+		t.Errorf("bounds off: %v", h.Bounds)
+	}
+}
+
+func TestHistogramFractionBelowUniform(t *testing.T) {
+	h := BuildHistogram(uniformValues(50000, 0, 9999, 2), 20)
+	for _, a := range []float64{0, 1000, 2500, 5000, 7500, 9999} {
+		got := h.FractionBelow(a)
+		want := a / 10000
+		if diff := got - want; diff < -0.02 || diff > 0.02 {
+			t.Errorf("FractionBelow(%g) = %g, want ≈ %g", a, got, want)
+		}
+	}
+	if h.FractionBelow(-5) != 0 || h.FractionBelow(20000) != 1 {
+		t.Error("clamping failed")
+	}
+}
+
+func TestHistogramSkewed(t *testing.T) {
+	// Height-balanced histograms should track skew: 90% of values at
+	// [0,100), 10% at [100,10000).
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]types.Value, 0, 10000)
+	for i := 0; i < 9000; i++ {
+		vals = append(vals, types.Int(rng.Int63n(100)))
+	}
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, types.Int(100+rng.Int63n(9900)))
+	}
+	h := BuildHistogram(vals, 20)
+	got := h.FractionBelow(100)
+	if got < 0.85 || got > 0.95 {
+		t.Errorf("FractionBelow(100) = %g, want ≈ 0.9", got)
+	}
+	// A uniform assumption would give 1%; make sure we are far from it.
+	if got < 0.1 {
+		t.Error("histogram behaves like uniform assumption")
+	}
+}
+
+func TestHistogramMonotonic(t *testing.T) {
+	h := BuildHistogram(uniformValues(5000, 0, 999, 4), 15)
+	prev := -1.0
+	for a := 0.0; a <= 1000; a += 37 {
+		f := h.FractionBelow(a)
+		if f < prev {
+			t.Fatalf("FractionBelow not monotonic at %g: %g < %g", a, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestHistogramBNo(t *testing.T) {
+	h := BuildHistogram(uniformValues(1000, 0, 99, 5), 10)
+	for i := 0; i < h.NumBuckets(); i++ {
+		mid := (h.B1(i) + h.B2(i)) / 2
+		if h.B1(i) == h.B2(i) {
+			continue
+		}
+		if got := h.BNo(mid); got != i {
+			t.Errorf("BNo(%g) = %d, want %d", mid, got, i)
+		}
+	}
+	if h.BNo(-100) != 0 {
+		t.Error("BNo below range should clamp to 0")
+	}
+	if h.BNo(1e9) != h.NumBuckets()-1 {
+		t.Error("BNo above range should clamp to last")
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if BuildHistogram(nil, 10) != nil {
+		t.Error("empty input should give nil")
+	}
+	if BuildHistogram([]types.Value{types.Null, types.Null}, 10) != nil {
+		t.Error("all-null input should give nil")
+	}
+	h := BuildHistogram([]types.Value{types.Int(5)}, 10)
+	if h == nil || h.Rows != 1 {
+		t.Fatal("single value histogram")
+	}
+	// Constant column: every value the same.
+	vals := make([]types.Value, 100)
+	for i := range vals {
+		vals[i] = types.Int(7)
+	}
+	hc := BuildHistogram(vals, 5)
+	if hc.FractionBelow(7) != 0 || hc.FractionBelow(8) != 1 {
+		t.Errorf("constant column fractions: below7=%g below8=%g",
+			hc.FractionBelow(7), hc.FractionBelow(8))
+	}
+}
+
+func TestTableStatsHelpers(t *testing.T) {
+	ts := &TableStats{
+		Table:        "POSITION",
+		Cardinality:  100,
+		AvgTupleSize: 50,
+		Columns: map[string]*ColumnStats{
+			"POSID": {Name: "PosID", Distinct: 10},
+		},
+	}
+	if ts.Size() != 5000 {
+		t.Errorf("Size = %g", ts.Size())
+	}
+	if ts.Column("posid") == nil || ts.Column("PosID").Distinct != 10 {
+		t.Error("case-insensitive column lookup failed")
+	}
+	if ts.Column("missing") != nil {
+		t.Error("missing column should be nil")
+	}
+	var nilStats *TableStats
+	if nilStats.Column("x") != nil {
+		t.Error("nil receiver should be safe")
+	}
+}

@@ -1,0 +1,177 @@
+// Package server exposes the DBMS engine behind the wire boundary:
+// every row leaving a query or entering the loader is serialized. The
+// middleware only ever talks to this façade (the paper treats the DBMS
+// as "a quite full featured file system").
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tango/internal/engine"
+	"tango/internal/meta"
+	"tango/internal/rel"
+	"tango/internal/types"
+	"tango/internal/wire"
+)
+
+// Server is the DBMS endpoint.
+type Server struct {
+	db  *engine.DB
+	lat wire.Latency
+
+	// counters for experiments
+	queries int64
+	rowsOut int64
+	rowsIn  int64
+}
+
+// New wraps a database in a server with the given latency model.
+func New(db *engine.DB, lat wire.Latency) *Server {
+	return &Server{db: db, lat: lat}
+}
+
+// DB exposes the engine for in-process test setup; production callers
+// go through the wire methods.
+func (s *Server) DB() *engine.DB { return s.db }
+
+// SetLatency replaces the latency model (used by experiments).
+func (s *Server) SetLatency(lat wire.Latency) { s.lat = lat }
+
+// Exec runs a non-SELECT statement.
+func (s *Server) Exec(sql string) (int64, error) {
+	s.lat.Charge(len(sql))
+	return s.db.Exec(sql)
+}
+
+// Query plans and opens a SELECT, returning a cursor that ships rows
+// in serialized batches.
+func (s *Server) Query(sql string, prefetch int) (*Cursor, error) {
+	if prefetch <= 0 {
+		prefetch = wire.DefaultPrefetch
+	}
+	s.lat.Charge(len(sql))
+	it, err := s.db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&s.queries, 1)
+	return &Cursor{srv: s, it: it, prefetch: prefetch}, nil
+}
+
+// Cursor is the server side of an open query.
+type Cursor struct {
+	srv      *Server
+	it       rel.Iterator
+	prefetch int
+	done     bool
+	buf      []byte
+}
+
+// Schema returns the result schema.
+func (c *Cursor) Schema() types.Schema { return c.it.Schema() }
+
+// FetchBatch produces the next serialized batch of up to prefetch
+// rows. It returns nil when the result is exhausted. The returned
+// slice is only valid until the next call.
+func (c *Cursor) FetchBatch() ([]byte, error) {
+	if c.done {
+		return nil, nil
+	}
+	rows := make([]types.Tuple, 0, c.prefetch)
+	for len(rows) < c.prefetch {
+		t, ok, err := c.it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			c.done = true
+			break
+		}
+		rows = append(rows, t)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	atomic.AddInt64(&c.srv.rowsOut, int64(len(rows)))
+	c.buf = wire.EncodeBatch(c.buf[:0], rows)
+	c.srv.lat.Charge(len(c.buf))
+	return c.buf, nil
+}
+
+// Close releases the cursor.
+func (c *Cursor) Close() error {
+	c.done = true
+	return c.it.Close()
+}
+
+// Load is the direct-path bulk loader (the paper's SQL*Loader): the
+// payload is a serialized batch ("data file") appended to an existing
+// table with pages filled to capacity.
+func (s *Server) Load(table string, payload []byte) (int64, error) {
+	s.lat.Charge(len(payload))
+	rows, err := wire.DecodeBatch(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.db.BulkLoad(table, rows); err != nil {
+		return 0, err
+	}
+	atomic.AddInt64(&s.rowsIn, int64(len(rows)))
+	return int64(len(rows)), nil
+}
+
+// InsertRows is the conventional-path alternative to Load: one INSERT
+// per row. Provided for the bulk-load ablation experiment.
+func (s *Server) InsertRows(table string, payload []byte) (int64, error) {
+	s.lat.Charge(len(payload))
+	rows, err := wire.DecodeBatch(payload)
+	if err != nil {
+		return 0, err
+	}
+	for i, r := range rows {
+		// Each INSERT is its own round trip.
+		s.lat.Charge(0)
+		if err := s.db.Insert(table, r); err != nil {
+			return int64(i), err
+		}
+	}
+	atomic.AddInt64(&s.rowsIn, int64(len(rows)))
+	return int64(len(rows)), nil
+}
+
+// TableStats returns catalog statistics, computing them (ANALYZE) if
+// absent. histogramBuckets applies only when statistics are computed.
+func (s *Server) TableStats(table string, histogramBuckets int) (*meta.TableStats, error) {
+	s.lat.Charge(len(table))
+	t, err := s.db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if t.Stats != nil {
+		return t.Stats, nil
+	}
+	return s.db.Analyze(table, histogramBuckets)
+}
+
+// TableSchema returns a table's schema.
+func (s *Server) TableSchema(table string) (types.Schema, error) {
+	t, err := s.db.Table(table)
+	if err != nil {
+		return types.Schema{}, err
+	}
+	return t.Schema, nil
+}
+
+// Counters reports cumulative traffic for experiments.
+func (s *Server) Counters() (queries, rowsOut, rowsIn int64) {
+	return atomic.LoadInt64(&s.queries), atomic.LoadInt64(&s.rowsOut), atomic.LoadInt64(&s.rowsIn)
+}
+
+// String describes the server.
+func (s *Server) String() string {
+	return fmt.Sprintf("Server{tables: %v}", s.db.TableNames())
+}

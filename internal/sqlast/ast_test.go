@@ -1,0 +1,117 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+
+	"tango/internal/types"
+)
+
+func col(name string) ColumnRef { return ColumnRef{Name: name} }
+
+func lit(v int64) Literal { return Literal{Value: types.Int(v)} }
+
+func TestConjunctsAndAndAll(t *testing.T) {
+	a := BinaryExpr{Op: OpEq, Left: col("a"), Right: lit(1)}
+	b := BinaryExpr{Op: OpGt, Left: col("b"), Right: lit(2)}
+	c := BinaryExpr{Op: OpLt, Left: col("c"), Right: lit(3)}
+	and := BinaryExpr{Op: OpAnd, Left: BinaryExpr{Op: OpAnd, Left: a, Right: b}, Right: c}
+	conj := Conjuncts(and)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	// OR at the top is one conjunct.
+	or := BinaryExpr{Op: OpOr, Left: a, Right: b}
+	if len(Conjuncts(or)) != 1 {
+		t.Error("OR must not split")
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("nil predicate has no conjuncts")
+	}
+	back := AndAll(conj)
+	if len(Conjuncts(back)) != 3 {
+		t.Error("AndAll/Conjuncts should round trip")
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+}
+
+func TestWalkPrunes(t *testing.T) {
+	e := BinaryExpr{
+		Op:   OpAnd,
+		Left: FuncCall{Name: "COUNT", Args: []Expr{col("x")}},
+		Right: Between{
+			Expr: col("y"), Lo: lit(1), Hi: UnaryExpr{Op: "-", Operand: lit(2)},
+		},
+	}
+	visited := 0
+	Walk(e, func(Expr) bool { visited++; return true })
+	if visited != 8 {
+		t.Errorf("visited %d nodes", visited)
+	}
+	// Prune at FuncCall.
+	visited = 0
+	Walk(e, func(x Expr) bool {
+		visited++
+		_, isCall := x.(FuncCall)
+		return !isCall
+	})
+	if visited != 7 { // col("x") skipped
+		t.Errorf("pruned walk visited %d", visited)
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	if !HasAggregate(FuncCall{Name: "SUM", Args: []Expr{col("x")}}) {
+		t.Error("SUM is an aggregate")
+	}
+	if HasAggregate(FuncCall{Name: "GREATEST", Args: []Expr{col("x"), lit(1)}}) {
+		t.Error("GREATEST is not an aggregate")
+	}
+	nested := BinaryExpr{Op: OpAdd, Left: lit(1), Right: FuncCall{Name: "MAX", Args: []Expr{col("x")}}}
+	if !HasAggregate(nested) {
+		t.Error("nested aggregate missed")
+	}
+	if !IsAggregateName("AVG") || IsAggregateName("LENGTH") {
+		t.Error("IsAggregateName wrong")
+	}
+}
+
+func TestStatementStrings(t *testing.T) {
+	sel := &SelectStmt{
+		Hint:     HintMerge,
+		Distinct: true,
+		Items:    []SelectItem{{Expr: col("a"), Alias: "x"}, {Expr: Star{}}},
+		From:     []TableRef{TableName{Name: "T", Alias: "t"}, Derived{Select: &SelectStmt{Items: []SelectItem{{Expr: lit(1)}}}, Alias: "d"}},
+		Where:    IsNull{Expr: col("a"), Not: true},
+		GroupBy:  []Expr{col("a")},
+		Having:   BinaryExpr{Op: OpGt, Left: FuncCall{Name: "COUNT", Args: []Expr{Star{}}}, Right: lit(1)},
+		OrderBy:  []OrderItem{{Expr: col("a"), Desc: true}},
+		Limit:    7,
+	}
+	s := sel.String()
+	for _, want := range []string{"USE_MERGE", "DISTINCT", "AS x", "T t", ") d",
+		"IS NOT NULL", "GROUP BY", "HAVING", "ORDER BY a DESC", "LIMIT 7"} {
+		if !contains(s, want) {
+			t.Errorf("SELECT rendering missing %q:\n%s", want, s)
+		}
+	}
+
+	stmts := []Statement{
+		&CreateTable{Name: "T", Columns: []ColumnDef{{Name: "a", Kind: types.KindInt}}},
+		&DropTable{Name: "T", IfExists: true},
+		&Insert{Table: "T", Columns: []string{"a"}, Values: [][]Expr{{lit(1)}, {lit(2)}}},
+		&Insert{Table: "T", Select: &SelectStmt{Items: []SelectItem{{Expr: Star{}}}, From: []TableRef{TableName{Name: "S"}}}},
+		&CreateIndex{Name: "i", Table: "T", Column: "a"},
+		&Analyze{Table: "T", HistogramBuckets: 5},
+		&Analyze{Table: "T"},
+	}
+	for _, st := range stmts {
+		if st.String() == "" {
+			t.Errorf("%T renders empty", st)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,615 @@
+// Package sqlgen is the Translator-To-SQL: it renders DBMS-resident
+// parts of a query plan (subtrees below a T^M, down to the leaves or
+// to T^D-created temporary tables) into SQL text the engine executes.
+// Temporal operators are expanded into regular SQL — temporal
+// aggregation becomes the set-based constant-interval query (the
+// paper's "50-line SQL"), and temporal join becomes a regular join
+// with overlap predicates and GREATEST/LEAST period intersection.
+//
+// Each rendered fragment is a derived table whose output columns carry
+// mangled algebra names ("A.PosID" → "A$PosID"); TRANSFER^M restores
+// the algebra names positionally on the way back.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"tango/internal/algebra"
+	"tango/internal/client"
+	"tango/internal/sqlast"
+	"tango/internal/types"
+)
+
+// Gen renders plans against a catalog. TempTables maps T^D nodes to
+// their assigned DBMS table names (set by the execution layer before
+// translation).
+type Gen struct {
+	Cat        algebra.Catalog
+	TempTables map[*algebra.Node]string
+	// Hint, when set, is injected into the outermost SELECT (used by
+	// experiments to pin the DBMS join method, as the paper does with
+	// Oracle hints in Query 4).
+	Hint string
+}
+
+// fragment is one rendered subtree. Simple subtrees (scans, and
+// selections/projections directly over them) additionally carry
+// "direct" base-table info so joins can reference the table in their
+// own FROM clause — which lets the engine use index access paths the
+// way Oracle would (Query 4's nested-loop hint depends on this).
+type fragment struct {
+	sql    string // a complete SELECT (no trailing ORDER BY)
+	schema types.Schema
+
+	// direct info; table == "" means the fragment is opaque.
+	table string
+	alias string
+	cols  []string // base column names, parallel to schema
+	where string   // rendered predicate over alias.cols, "" if none
+}
+
+// direct reports whether the fragment can be inlined as a base table.
+func (f fragment) direct() bool { return f.table != "" }
+
+// directSQL rebuilds the canonical SELECT for a direct fragment.
+func (f fragment) directSQL() string {
+	parts := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		parts[i] = f.alias + "." + client.Mangle(c) + " AS " + client.Mangle(f.schema.Cols[i].Name)
+	}
+	sql := "SELECT " + strings.Join(parts, ", ") + " FROM " + f.table + " " + f.alias
+	if f.where != "" {
+		sql += " WHERE " + f.where
+	}
+	return sql
+}
+
+// ref renders a reference to column i of the fragment for use inside a
+// join that inlined it (direct) or wrapped it (derived with prefix).
+func (f fragment) ref(i int, derivedPrefix string) string {
+	if f.direct() {
+		return f.alias + "." + client.Mangle(f.cols[i])
+	}
+	return derivedPrefix + "." + client.Mangle(f.schema.Cols[i].Name)
+}
+
+// fromEntry renders the fragment's FROM-clause entry.
+func (f fragment) fromEntry(derivedPrefix string) string {
+	if f.direct() {
+		return f.table + " " + f.alias
+	}
+	return "(" + f.sql + ") " + derivedPrefix
+}
+
+// SQL renders the DBMS-resident subtree under a T^M into a complete
+// SELECT statement, returning the statement and its output schema
+// (with mangled column names, in algebra order).
+func (g *Gen) SQL(n *algebra.Node) (string, types.Schema, error) {
+	// A Sort at the top becomes the statement's ORDER BY.
+	var orderKeys []string
+	body := n
+	for body.Op == algebra.OpSort {
+		if len(orderKeys) == 0 {
+			orderKeys = body.Keys
+		}
+		// Inner sorts below the outermost are meaningless to the DBMS
+		// (multiset semantics) and are skipped.
+		body = body.Left
+	}
+	f, err := g.render(body)
+	if err != nil {
+		return "", types.Schema{}, err
+	}
+	sql := f.sql
+	if g.Hint != "" && strings.HasPrefix(sql, "SELECT ") {
+		sql = "SELECT " + g.Hint + " " + sql[len("SELECT "):]
+	}
+	if len(orderKeys) > 0 {
+		parts := make([]string, len(orderKeys))
+		for i, k := range orderKeys {
+			j := f.schema.ColumnIndex(k)
+			if j < 0 {
+				return "", types.Schema{}, fmt.Errorf("sqlgen: order key %q not in %v", k, f.schema.Names())
+			}
+			parts[i] = client.Mangle(f.schema.Cols[j].Name)
+		}
+		sql = "SELECT * FROM (" + sql + ") Z_ ORDER BY " + strings.Join(parts, ", ")
+	}
+	return sql, mangled(f.schema), nil
+}
+
+func mangled(s types.Schema) types.Schema {
+	cols := make([]types.Column, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = types.Column{Name: client.Mangle(c.Name), Kind: c.Kind}
+	}
+	return types.Schema{Cols: cols}
+}
+
+// selectList renders "alias.mangled AS mangled" for every column.
+func selectList(alias string, s types.Schema) string {
+	parts := make([]string, s.Len())
+	for i, c := range s.Cols {
+		m := client.Mangle(c.Name)
+		parts[i] = alias + "." + m + " AS " + m
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (g *Gen) render(n *algebra.Node) (fragment, error) {
+	switch n.Op {
+	case algebra.OpScan:
+		return g.renderScan(n)
+	case algebra.OpTD:
+		return g.renderTemp(n)
+	case algebra.OpSelect:
+		return g.renderSelect(n)
+	case algebra.OpProject:
+		return g.renderProject(n)
+	case algebra.OpSort:
+		// Mid-plan sort: the DBMS guarantees no order on intermediate
+		// results, so the sort is a no-op here.
+		return g.render(n.Left)
+	case algebra.OpJoin:
+		return g.renderJoin(n, false)
+	case algebra.OpTJoin:
+		return g.renderJoin(n, true)
+	case algebra.OpTAggr:
+		return g.renderTAggr(n)
+	case algebra.OpDupElim:
+		sub, err := g.render(n.Left)
+		if err != nil {
+			return fragment{}, err
+		}
+		return fragment{
+			sql:    "SELECT DISTINCT " + selectList("D_", sub.schema) + " FROM (" + sub.sql + ") D_",
+			schema: sub.schema,
+		}, nil
+	case algebra.OpCoalesce:
+		return fragment{}, fmt.Errorf("sqlgen: coalescing has no SQL translation; it must run in the middleware")
+	case algebra.OpTM:
+		return fragment{}, fmt.Errorf("sqlgen: T^M inside a DBMS-resident subtree")
+	default:
+		return fragment{}, fmt.Errorf("sqlgen: cannot translate %v", n.Op)
+	}
+}
+
+func (g *Gen) renderScan(n *algebra.Node) (fragment, error) {
+	schema, err := n.Schema(g.Cat)
+	if err != nil {
+		return fragment{}, err
+	}
+	alias := n.Alias
+	if alias == "" {
+		alias = n.Table
+	}
+	// Base-table columns are unqualified in the DBMS; project them into
+	// the (possibly qualified) algebra names.
+	base, err := g.Cat.TableSchema(n.Table)
+	if err != nil {
+		return fragment{}, err
+	}
+	cols := make([]string, schema.Len())
+	for i := range schema.Cols {
+		cols[i] = base.Cols[i].Name
+	}
+	f := fragment{schema: schema, table: n.Table, alias: alias, cols: cols}
+	f.sql = f.directSQL()
+	return f, nil
+}
+
+func (g *Gen) renderTemp(n *algebra.Node) (fragment, error) {
+	name, ok := g.TempTables[n]
+	if !ok {
+		return fragment{}, fmt.Errorf("sqlgen: T^D node has no assigned temp table")
+	}
+	schema, err := n.Schema(g.Cat)
+	if err != nil {
+		return fragment{}, err
+	}
+	// The temp table was created with mangled names matching the
+	// algebra schema.
+	cols := make([]string, schema.Len())
+	for i, c := range schema.Cols {
+		cols[i] = client.Mangle(c.Name)
+	}
+	f := fragment{schema: schema, table: name, alias: name + "_T", cols: cols}
+	f.sql = f.directSQL()
+	return f, nil
+}
+
+func (g *Gen) renderSelect(n *algebra.Node) (fragment, error) {
+	sub, err := g.render(n.Left)
+	if err != nil {
+		return fragment{}, err
+	}
+	if sub.direct() {
+		pred, err := rewriteExprDirect(n.Pred, sub)
+		if err != nil {
+			return fragment{}, err
+		}
+		out := sub
+		if out.where == "" {
+			out.where = pred.String()
+		} else {
+			out.where = "(" + out.where + ") AND " + pred.String()
+		}
+		out.sql = out.directSQL()
+		return out, nil
+	}
+	pred, err := rewriteExpr(n.Pred, sub.schema, "S_")
+	if err != nil {
+		return fragment{}, err
+	}
+	return fragment{
+		sql: "SELECT " + selectList("S_", sub.schema) + " FROM (" + sub.sql + ") S_ WHERE " +
+			pred.String(),
+		schema: sub.schema,
+	}, nil
+}
+
+func (g *Gen) renderProject(n *algebra.Node) (fragment, error) {
+	sub, err := g.render(n.Left)
+	if err != nil {
+		return fragment{}, err
+	}
+	outSchema, err := n.Schema(g.Cat)
+	if err != nil {
+		return fragment{}, err
+	}
+	if sub.direct() {
+		cols := make([]string, len(n.Cols))
+		for i, pc := range n.Cols {
+			j := sub.schema.ColumnIndex(pc.Src)
+			if j < 0 {
+				return fragment{}, fmt.Errorf("sqlgen: project: no column %q in %v", pc.Src, sub.schema.Names())
+			}
+			cols[i] = sub.cols[j]
+		}
+		out := fragment{schema: outSchema, table: sub.table, alias: sub.alias, cols: cols, where: sub.where}
+		out.sql = out.directSQL()
+		return out, nil
+	}
+	parts := make([]string, len(n.Cols))
+	for i, pc := range n.Cols {
+		j := sub.schema.ColumnIndex(pc.Src)
+		if j < 0 {
+			return fragment{}, fmt.Errorf("sqlgen: project: no column %q in %v", pc.Src, sub.schema.Names())
+		}
+		parts[i] = "P_." + client.Mangle(sub.schema.Cols[j].Name) + " AS " + client.Mangle(outSchema.Cols[i].Name)
+	}
+	return fragment{
+		sql:    "SELECT " + strings.Join(parts, ", ") + " FROM (" + sub.sql + ") P_",
+		schema: outSchema,
+	}, nil
+}
+
+func (g *Gen) renderJoin(n *algebra.Node, temporal bool) (fragment, error) {
+	l, err := g.render(n.Left)
+	if err != nil {
+		return fragment{}, err
+	}
+	r, err := g.render(n.Right)
+	if err != nil {
+		return fragment{}, err
+	}
+	// Two direct fragments with the same alias (an unaliased self-join)
+	// would collide; demote the right side to a derived table.
+	if l.direct() && r.direct() && strings.EqualFold(l.alias, r.alias) {
+		r.table, r.alias, r.cols, r.where = "", "", nil, ""
+	}
+	outSchema, err := n.Schema(g.Cat)
+	if err != nil {
+		return fragment{}, err
+	}
+	var conds []string
+	if l.where != "" {
+		conds = append(conds, "("+l.where+")")
+	}
+	if r.where != "" {
+		conds = append(conds, "("+r.where+")")
+	}
+	for i := range n.LeftCols {
+		lj := l.schema.ColumnIndex(n.LeftCols[i])
+		rj := r.schema.ColumnIndex(n.RightCols[i])
+		if lj < 0 || rj < 0 {
+			return fragment{}, fmt.Errorf("sqlgen: join columns %q/%q not found", n.LeftCols[i], n.RightCols[i])
+		}
+		conds = append(conds, l.ref(lj, "L_")+" = "+r.ref(rj, "R_"))
+	}
+
+	var parts []string
+	if temporal {
+		lt1, lt2 := algebra.TimeColumns(l.schema)
+		rt1, rt2 := algebra.TimeColumns(r.schema)
+		if lt1 < 0 || lt2 < 0 || rt1 < 0 || rt2 < 0 {
+			return fragment{}, fmt.Errorf("sqlgen: temporal join inputs lack T1/T2")
+		}
+		lT1, lT2 := l.ref(lt1, "L_"), l.ref(lt2, "L_")
+		rT1, rT2 := r.ref(rt1, "R_"), r.ref(rt2, "R_")
+		conds = append(conds, lT1+" < "+rT2, lT2+" > "+rT1)
+		oi := 0
+		for i := range l.schema.Cols {
+			m := client.Mangle(outSchema.Cols[oi].Name)
+			switch i {
+			case lt1:
+				parts = append(parts, "GREATEST("+lT1+", "+rT1+") AS "+m)
+			case lt2:
+				parts = append(parts, "LEAST("+lT2+", "+rT2+") AS "+m)
+			default:
+				parts = append(parts, l.ref(i, "L_")+" AS "+m)
+			}
+			oi++
+		}
+		for i := range r.schema.Cols {
+			if i == rt1 || i == rt2 {
+				continue
+			}
+			parts = append(parts, r.ref(i, "R_")+" AS "+client.Mangle(outSchema.Cols[oi].Name))
+			oi++
+		}
+	} else {
+		oi := 0
+		for i := range l.schema.Cols {
+			parts = append(parts, l.ref(i, "L_")+" AS "+client.Mangle(outSchema.Cols[oi].Name))
+			oi++
+		}
+		for i := range r.schema.Cols {
+			parts = append(parts, r.ref(i, "R_")+" AS "+client.Mangle(outSchema.Cols[oi].Name))
+			oi++
+		}
+	}
+	where := ""
+	if len(conds) > 0 {
+		where = " WHERE " + strings.Join(conds, " AND ")
+	}
+	return fragment{
+		sql: "SELECT " + strings.Join(parts, ", ") + " FROM " + l.fromEntry("L_") + ", " +
+			r.fromEntry("R_") + where,
+		schema: outSchema,
+	}, nil
+}
+
+// renderTAggr emits the set-based temporal aggregation: per-group
+// event points → constant intervals (start with the least greater
+// point as end) → aggregate over the tuples covering each interval.
+func (g *Gen) renderTAggr(n *algebra.Node) (fragment, error) {
+	sub, err := g.render(n.Left)
+	if err != nil {
+		return fragment{}, err
+	}
+	outSchema, err := n.Schema(g.Cat)
+	if err != nil {
+		return fragment{}, err
+	}
+	t1, t2 := algebra.TimeColumns(sub.schema)
+	if t1 < 0 || t2 < 0 {
+		return fragment{}, fmt.Errorf("sqlgen: taggr input lacks T1/T2")
+	}
+	mT1 := client.Mangle(sub.schema.Cols[t1].Name)
+	mT2 := client.Mangle(sub.schema.Cols[t2].Name)
+
+	// Group columns in the input.
+	var gcols []string
+	for _, gb := range n.GroupBy {
+		j := sub.schema.ColumnIndex(gb)
+		if j < 0 {
+			return fragment{}, fmt.Errorf("sqlgen: taggr group column %q not found", gb)
+		}
+		gcols = append(gcols, client.Mangle(sub.schema.Cols[j].Name))
+	}
+
+	// Event points: per-group starts and ends.
+	pointCols := func(alias, timeCol string) string {
+		var parts []string
+		for i, gc := range gcols {
+			parts = append(parts, alias+"."+gc+" AS G"+itoa(i))
+		}
+		parts = append(parts, alias+"."+timeCol+" AS P")
+		return strings.Join(parts, ", ")
+	}
+	points := "SELECT DISTINCT " + pointCols("B_", mT1) + " FROM (" + sub.sql + ") B_" +
+		" UNION SELECT DISTINCT " + pointCols("B_", mT2) + " FROM (" + sub.sql + ") B_"
+
+	// Constant intervals: each point paired with the least greater
+	// point of the same group.
+	var sEq []string
+	var sGroup []string
+	for i := range gcols {
+		sEq = append(sEq, "S_.G"+itoa(i)+" = E_.G"+itoa(i))
+		sGroup = append(sGroup, "S_.G"+itoa(i))
+	}
+	intervalSelect := make([]string, 0, len(gcols)+2)
+	for i := range gcols {
+		intervalSelect = append(intervalSelect, "S_.G"+itoa(i)+" AS G"+itoa(i))
+	}
+	intervalSelect = append(intervalSelect, "S_.P AS TS", "MIN(E_.P) AS TE")
+	cond := "E_.P > S_.P"
+	if len(sEq) > 0 {
+		cond = strings.Join(sEq, " AND ") + " AND " + cond
+	}
+	groupBy := append(append([]string{}, sGroup...), "S_.P")
+	intervals := "SELECT " + strings.Join(intervalSelect, ", ") +
+		" FROM (" + points + ") S_, (" + points + ") E_" +
+		" WHERE " + cond +
+		" GROUP BY " + strings.Join(groupBy, ", ")
+
+	// Aggregate tuples covering each interval.
+	var outer []string
+	oi := 0
+	for i := range gcols {
+		outer = append(outer, "I_.G"+itoa(i)+" AS "+client.Mangle(outSchema.Cols[oi].Name))
+		oi++
+	}
+	outer = append(outer,
+		"I_.TS AS "+client.Mangle(outSchema.Cols[oi].Name),
+		"I_.TE AS "+client.Mangle(outSchema.Cols[oi+1].Name))
+	oi += 2
+	for _, a := range n.Aggs {
+		var expr string
+		if a.Fn == "COUNT" {
+			expr = "COUNT(*)"
+		} else {
+			j := sub.schema.ColumnIndex(a.Col)
+			if j < 0 {
+				return fragment{}, fmt.Errorf("sqlgen: taggr aggregate column %q not found", a.Col)
+			}
+			expr = a.Fn + "(R_." + client.Mangle(sub.schema.Cols[j].Name) + ")"
+		}
+		outer = append(outer, expr+" AS "+client.Mangle(outSchema.Cols[oi].Name))
+		oi++
+	}
+	var outerConds []string
+	for i, gc := range gcols {
+		outerConds = append(outerConds, "R_."+gc+" = I_.G"+itoa(i))
+	}
+	outerConds = append(outerConds, "R_."+mT1+" <= I_.TS", "R_."+mT2+" >= I_.TE")
+	var outerGroup []string
+	for i := range gcols {
+		outerGroup = append(outerGroup, "I_.G"+itoa(i))
+	}
+	outerGroup = append(outerGroup, "I_.TS", "I_.TE")
+
+	sql := "SELECT " + strings.Join(outer, ", ") +
+		" FROM (" + intervals + ") I_, (" + sub.sql + ") R_" +
+		" WHERE " + strings.Join(outerConds, " AND ") +
+		" GROUP BY " + strings.Join(outerGroup, ", ")
+	return fragment{sql: sql, schema: outSchema}, nil
+}
+
+func itoa(i int) string { return fmt.Sprintf("%d", i) }
+
+// rewriteExpr rewrites column references in an expression to
+// "alias.mangled" against the fragment schema.
+func rewriteExpr(e sqlast.Expr, schema types.Schema, alias string) (sqlast.Expr, error) {
+	switch x := e.(type) {
+	case sqlast.ColumnRef:
+		name := x.Name
+		if x.Table != "" {
+			name = x.Table + "." + x.Name
+		}
+		j := schema.ColumnIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("sqlgen: column %q not in %v", name, schema.Names())
+		}
+		return sqlast.ColumnRef{Table: alias, Name: client.Mangle(schema.Cols[j].Name)}, nil
+	case sqlast.Literal:
+		return x, nil
+	case sqlast.BinaryExpr:
+		l, err := rewriteExpr(x.Left, schema, alias)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteExpr(x.Right, schema, alias)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.BinaryExpr{Op: x.Op, Left: l, Right: r}, nil
+	case sqlast.UnaryExpr:
+		o, err := rewriteExpr(x.Operand, schema, alias)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.UnaryExpr{Op: x.Op, Operand: o}, nil
+	case sqlast.FuncCall:
+		args := make([]sqlast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			ra, err := rewriteExpr(a, schema, alias)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ra
+		}
+		return sqlast.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct}, nil
+	case sqlast.Between:
+		ex, err := rewriteExpr(x.Expr, schema, alias)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := rewriteExpr(x.Lo, schema, alias)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := rewriteExpr(x.Hi, schema, alias)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.Between{Expr: ex, Lo: lo, Hi: hi, Not: x.Not}, nil
+	case sqlast.IsNull:
+		ex, err := rewriteExpr(x.Expr, schema, alias)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.IsNull{Expr: ex, Not: x.Not}, nil
+	default:
+		return nil, fmt.Errorf("sqlgen: cannot rewrite %T", e)
+	}
+}
+
+// rewriteExprDirect rewrites column references against a direct
+// fragment's base table ("alias.basecol").
+func rewriteExprDirect(e sqlast.Expr, f fragment) (sqlast.Expr, error) {
+	switch x := e.(type) {
+	case sqlast.ColumnRef:
+		name := x.Name
+		if x.Table != "" {
+			name = x.Table + "." + x.Name
+		}
+		j := f.schema.ColumnIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("sqlgen: column %q not in %v", name, f.schema.Names())
+		}
+		return sqlast.ColumnRef{Table: f.alias, Name: client.Mangle(f.cols[j])}, nil
+	case sqlast.Literal:
+		return x, nil
+	case sqlast.BinaryExpr:
+		l, err := rewriteExprDirect(x.Left, f)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteExprDirect(x.Right, f)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.BinaryExpr{Op: x.Op, Left: l, Right: r}, nil
+	case sqlast.UnaryExpr:
+		o, err := rewriteExprDirect(x.Operand, f)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.UnaryExpr{Op: x.Op, Operand: o}, nil
+	case sqlast.FuncCall:
+		args := make([]sqlast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			ra, err := rewriteExprDirect(a, f)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ra
+		}
+		return sqlast.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct}, nil
+	case sqlast.Between:
+		ex, err := rewriteExprDirect(x.Expr, f)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := rewriteExprDirect(x.Lo, f)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := rewriteExprDirect(x.Hi, f)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.Between{Expr: ex, Lo: lo, Hi: hi, Not: x.Not}, nil
+	case sqlast.IsNull:
+		ex, err := rewriteExprDirect(x.Expr, f)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.IsNull{Expr: ex, Not: x.Not}, nil
+	default:
+		return nil, fmt.Errorf("sqlgen: cannot rewrite %T", e)
+	}
+}

@@ -1,0 +1,271 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"tango/internal/algebra"
+	"tango/internal/engine"
+	"tango/internal/rel"
+	"tango/internal/sqlparser"
+	"tango/internal/types"
+)
+
+// liveCatalog resolves schemas from a real engine so generated SQL can
+// be executed and checked.
+type liveCatalog struct{ db *engine.DB }
+
+func (c liveCatalog) TableSchema(name string) (types.Schema, error) {
+	t, err := c.db.Table(name)
+	if err != nil {
+		return types.Schema{}, err
+	}
+	return t.Schema, nil
+}
+
+func testDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.Open(engine.Config{})
+	for _, sql := range []string{
+		"CREATE TABLE POSITION (PosID INTEGER, EmpName VARCHAR(40), PayRate FLOAT, T1 INTEGER, T2 INTEGER)",
+		"INSERT INTO POSITION VALUES (1,'Tom',12.0,2,20),(1,'Jane',9.0,5,25),(2,'Tom',12.0,5,10)",
+	} {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	return db
+}
+
+// genAndRun translates a plan and executes the SQL on the engine.
+func genAndRun(t *testing.T, db *engine.DB, n *algebra.Node) (*rel.Relation, string) {
+	t.Helper()
+	g := &Gen{Cat: liveCatalog{db}, TempTables: map[*algebra.Node]string{}}
+	sql, schema, err := g.SQL(n)
+	if err != nil {
+		t.Fatalf("sqlgen: %v", err)
+	}
+	if _, err := sqlparser.Parse(sql); err != nil {
+		t.Fatalf("generated SQL does not parse: %v\n%s", err, sql)
+	}
+	out, err := db.QueryAll(sql)
+	if err != nil {
+		t.Fatalf("generated SQL fails: %v\n%s", err, sql)
+	}
+	if out.Schema.Len() != schema.Len() {
+		t.Fatalf("schema width %d, declared %d", out.Schema.Len(), schema.Len())
+	}
+	return out, sql
+}
+
+func TestScanDirect(t *testing.T) {
+	db := testDB(t)
+	out, sql := genAndRun(t, db, algebra.Scan("POSITION", "A"))
+	if out.Cardinality() != 3 {
+		t.Fatalf("rows: %v", out)
+	}
+	// A direct scan must not wrap itself in a derived table.
+	if strings.Contains(sql, "(SELECT") {
+		t.Errorf("scan should be flat SQL: %s", sql)
+	}
+	if !strings.Contains(sql, "A$PosID") {
+		t.Errorf("qualified names should be mangled: %s", sql)
+	}
+}
+
+func TestSelectStaysDirect(t *testing.T) {
+	db := testDB(t)
+	sel, _ := sqlparser.ParseSelect("SELECT 1 WHERE PayRate > 10")
+	n := algebra.Select(algebra.Scan("POSITION", ""), sel.Where)
+	out, sql := genAndRun(t, db, n)
+	if out.Cardinality() != 2 {
+		t.Fatalf("rows: %v", out)
+	}
+	if strings.Contains(sql, "(SELECT") {
+		t.Errorf("selection over scan should stay flat: %s", sql)
+	}
+}
+
+func TestProjectOverSelectDirect(t *testing.T) {
+	db := testDB(t)
+	sel, _ := sqlparser.ParseSelect("SELECT 1 WHERE PayRate > 10")
+	n := algebra.ProjectCols(algebra.Select(algebra.Scan("POSITION", ""), sel.Where),
+		"PosID", "T1")
+	out, sql := genAndRun(t, db, n)
+	if out.Cardinality() != 2 || out.Schema.Len() != 2 {
+		t.Fatalf("project: %v", out)
+	}
+	if strings.Contains(sql, "(SELECT") {
+		t.Errorf("project over select over scan should stay flat: %s", sql)
+	}
+}
+
+func TestTopSortBecomesOrderBy(t *testing.T) {
+	db := testDB(t)
+	n := algebra.Sort(algebra.Scan("POSITION", ""), "T1")
+	out, sql := genAndRun(t, db, n)
+	if !strings.Contains(sql, "ORDER BY") {
+		t.Fatalf("no ORDER BY: %s", sql)
+	}
+	t1 := out.Schema.MustIndex("T1")
+	for i := 1; i < out.Cardinality(); i++ {
+		if out.Tuples[i-1][t1].AsInt() > out.Tuples[i][t1].AsInt() {
+			t.Fatalf("not sorted:\n%v", out)
+		}
+	}
+}
+
+func TestJoinDirectBothSides(t *testing.T) {
+	db := testDB(t)
+	n := algebra.Join(
+		algebra.Scan("POSITION", "A"),
+		algebra.Scan("POSITION", "B"),
+		[]string{"A.PosID"}, []string{"B.PosID"})
+	out, sql := genAndRun(t, db, n)
+	// PosID 1 has 2 tuples → 4 pairs; PosID 2 → 1. Total 5.
+	if out.Cardinality() != 5 {
+		t.Fatalf("join rows = %d\n%s", out.Cardinality(), sql)
+	}
+	if strings.Contains(sql, "(SELECT") {
+		t.Errorf("direct two-sided join should be flat: %s", sql)
+	}
+	if !strings.Contains(sql, "FROM POSITION A, POSITION B") {
+		t.Errorf("base tables not inlined: %s", sql)
+	}
+}
+
+func TestUnaliasedSelfJoinDemotesRight(t *testing.T) {
+	db := testDB(t)
+	n := algebra.Join(
+		algebra.Scan("POSITION", ""),
+		algebra.Scan("POSITION", ""),
+		[]string{"PosID"}, []string{"PosID"})
+	out, sql := genAndRun(t, db, n)
+	if out.Cardinality() != 5 {
+		t.Fatalf("self join rows = %d\n%s", out.Cardinality(), sql)
+	}
+	if !strings.Contains(sql, "(SELECT") {
+		t.Errorf("colliding aliases must demote one side: %s", sql)
+	}
+}
+
+func TestTemporalJoinSQL(t *testing.T) {
+	db := testDB(t)
+	n := algebra.TJoin(
+		algebra.ProjectCols(algebra.Scan("POSITION", "A"), "A.PosID", "A.EmpName", "A.T1", "A.T2"),
+		algebra.ProjectCols(algebra.Scan("POSITION", "B"), "B.PosID", "B.EmpName", "B.T1", "B.T2"),
+		[]string{"A.PosID"}, []string{"B.PosID"})
+	out, sql := genAndRun(t, db, n)
+	if !strings.Contains(sql, "GREATEST(") || !strings.Contains(sql, "LEAST(") {
+		t.Fatalf("no period intersection: %s", sql)
+	}
+	// Overlapping pairs: PosID1 (Tom,Tom),(Tom,Jane),(Jane,Tom),(Jane,Jane);
+	// PosID2 (Tom,Tom) = 5.
+	if out.Cardinality() != 5 {
+		t.Fatalf("tjoin rows = %d\n%v", out.Cardinality(), out)
+	}
+	// Every output period must be a valid intersection. The raw SQL
+	// result carries mangled names (TRANSFER^M restores the algebra
+	// names positionally in real execution).
+	t1 := out.Schema.MustIndex("A$T1")
+	t2 := out.Schema.MustIndex("A$T2")
+	for _, row := range out.Tuples {
+		if row[t1].AsInt() >= row[t2].AsInt() {
+			t.Fatalf("invalid period: %v", row)
+		}
+	}
+}
+
+func TestTAggrSQLMatchesFigure3c(t *testing.T) {
+	db := testDB(t)
+	n := algebra.TAggr(
+		algebra.ProjectCols(algebra.Scan("POSITION", ""), "PosID", "T1", "T2"),
+		[]string{"PosID"}, algebra.Agg{Fn: "COUNT", Col: "PosID"})
+	out, _ := genAndRun(t, db, algebra.Sort(n, "PosID", "T1"))
+	want := [][4]int64{{1, 2, 5, 1}, {1, 5, 20, 2}, {1, 20, 25, 1}, {2, 5, 10, 1}}
+	if out.Cardinality() != len(want) {
+		t.Fatalf("rows:\n%v", out)
+	}
+	for i, w := range want {
+		for j := 0; j < 4; j++ {
+			if out.Tuples[i][j].AsInt() != w[j] {
+				t.Fatalf("row %d = %v, want %v", i, out.Tuples[i], w)
+			}
+		}
+	}
+}
+
+func TestTAggrSQLOtherAggregates(t *testing.T) {
+	db := testDB(t)
+	for _, fn := range []string{"SUM", "MIN", "MAX", "AVG"} {
+		n := algebra.TAggr(
+			algebra.ProjectCols(algebra.Scan("POSITION", ""), "PosID", "PayRate", "T1", "T2"),
+			[]string{"PosID"}, algebra.Agg{Fn: fn, Col: "PayRate"})
+		out, sql := genAndRun(t, db, n)
+		if out.Cardinality() != 4 {
+			t.Fatalf("%s rows = %d\n%s", fn, out.Cardinality(), sql)
+		}
+	}
+}
+
+func TestDupElimSQL(t *testing.T) {
+	db := testDB(t)
+	n := algebra.DupElim(algebra.ProjectCols(algebra.Scan("POSITION", ""), "EmpName"))
+	out, _ := genAndRun(t, db, n)
+	if out.Cardinality() != 2 {
+		t.Fatalf("distinct: %v", out)
+	}
+}
+
+func TestCoalesceRejected(t *testing.T) {
+	db := testDB(t)
+	g := &Gen{Cat: liveCatalog{db}, TempTables: map[*algebra.Node]string{}}
+	if _, _, err := g.SQL(algebra.Coalesce(algebra.Scan("POSITION", ""))); err == nil {
+		t.Error("coalescing must be rejected by the SQL translator")
+	}
+	if _, _, err := g.SQL(algebra.TM(algebra.Scan("POSITION", ""))); err == nil {
+		t.Error("T^M inside a DBMS region must be rejected")
+	}
+	td := algebra.TD(algebra.TM(algebra.Scan("POSITION", "")))
+	if _, _, err := g.SQL(td); err == nil {
+		t.Error("unassigned T^D must be rejected")
+	}
+}
+
+func TestHintInjection(t *testing.T) {
+	db := testDB(t)
+	g := &Gen{Cat: liveCatalog{db}, TempTables: map[*algebra.Node]string{}, Hint: "/*+ USE_NL */"}
+	sql, _, err := g.SQL(algebra.Join(
+		algebra.Scan("POSITION", "A"), algebra.Scan("POSITION", "B"),
+		[]string{"A.PosID"}, []string{"B.PosID"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sql, "SELECT /*+ USE_NL */") {
+		t.Errorf("hint not injected: %s", sql)
+	}
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Hint == 0 {
+		t.Error("hint lost in parsing")
+	}
+}
+
+func TestMidPlanSortSkipped(t *testing.T) {
+	db := testDB(t)
+	// A sort below a join is meaningless to the DBMS (multiset
+	// semantics) and must not produce ORDER BY in a derived table.
+	n := algebra.Join(
+		algebra.Sort(algebra.Scan("POSITION", "A"), "A.T1"),
+		algebra.Scan("POSITION", "B"),
+		[]string{"A.PosID"}, []string{"B.PosID"})
+	out, sql := genAndRun(t, db, n)
+	if strings.Contains(sql, "ORDER BY") {
+		t.Errorf("mid-plan sort leaked into SQL: %s", sql)
+	}
+	if out.Cardinality() != 5 {
+		t.Fatalf("rows = %d", out.Cardinality())
+	}
+}

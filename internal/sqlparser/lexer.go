@@ -1,0 +1,149 @@
+// Package sqlparser lexes and parses the engine's SQL subset into
+// sqlast trees.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // 'quoted'
+	tokSymbol // punctuation and operators
+	tokHint   // /*+ ... */
+)
+
+type token struct {
+	kind tokenKind
+	text string // upper-cased for idents; raw for strings/numbers
+	raw  string // original spelling
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && strings.HasPrefix(l.src[l.pos:], "/*+"):
+			start := l.pos + 3
+			end := strings.Index(l.src[start:], "*/")
+			if end < 0 {
+				return token{}, fmt.Errorf("sqlparser: unterminated hint at %d", l.pos)
+			}
+			t := token{kind: tokHint, text: strings.ToUpper(strings.TrimSpace(l.src[start : start+end])), pos: l.pos}
+			l.pos = start + end + 2
+			return t, nil
+		case c == '/' && strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, fmt.Errorf("sqlparser: unterminated comment at %d", l.pos)
+			}
+			l.pos += 2 + end + 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		raw := l.src[start:l.pos]
+		return token{kind: tokIdent, text: strings.ToUpper(raw), raw: raw, pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '.' {
+				if seenDot {
+					break
+				}
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if d < '0' || d > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], raw: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), raw: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{}, fmt.Errorf("sqlparser: unterminated string at %d", start)
+	default:
+		// Multi-char symbols first.
+		for _, sym := range []string{"<>", "<=", ">=", "!=", "||"} {
+			if strings.HasPrefix(l.src[l.pos:], sym) {
+				l.pos += len(sym)
+				return token{kind: tokSymbol, text: sym, raw: sym, pos: start}, nil
+			}
+		}
+		switch c {
+		case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';':
+			l.pos++
+			return token{kind: tokSymbol, text: string(c), raw: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqlparser: unexpected character %q at %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || c == '#' || unicode.IsLetter(rune(c)) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages from a Disk with LRU replacement and
+// write-back of dirty pages. Fetched pages are pinned until Unpin; a
+// pinned page is never evicted. The pool is goroutine-safe at the
+// fetch/unpin level; a fetched *Page must be used by one goroutine at
+// a time.
+type BufferPool struct {
+	disk     *Disk
+	capacity int
+
+	mu     sync.Mutex
+	frames map[PageID]*frame
+	lru    *list.List // of *frame, most-recent at front
+
+	hits   int64
+	misses int64
+}
+
+type frame struct {
+	pid  PageID
+	page Page
+	pins int
+	elem *list.Element
+}
+
+// NewBufferPool creates a pool of the given capacity (in pages) over
+// the disk. Capacity must be at least 1.
+func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   map[PageID]*frame{},
+		lru:      list.New(),
+	}
+}
+
+// Fetch pins and returns the page; it is read from disk on a miss.
+func (bp *BufferPool) Fetch(pid PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[pid]; ok {
+		f.pins++
+		bp.lru.MoveToFront(f.elem)
+		bp.hits++
+		return &f.page, nil
+	}
+	bp.misses++
+	f, err := bp.allocFrame(pid)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.disk.ReadPage(pid, &f.page); err != nil {
+		bp.freeFrame(f)
+		return nil, err
+	}
+	f.pins = 1
+	return &f.page, nil
+}
+
+// NewPage appends a fresh page to the file, pins it, and returns it.
+func (bp *BufferPool) NewPage(file FileID) (PageID, *Page, error) {
+	no, err := bp.disk.AppendPage(file)
+	if err != nil {
+		return PageID{}, nil, err
+	}
+	pid := PageID{File: file, No: no}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, err := bp.allocFrame(pid)
+	if err != nil {
+		return PageID{}, nil, err
+	}
+	f.page.Reset()
+	f.pins = 1
+	return pid, &f.page, nil
+}
+
+// allocFrame finds or evicts a frame for pid; caller holds mu.
+func (bp *BufferPool) allocFrame(pid PageID) (*frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evict(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{pid: pid}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[pid] = f
+	return f, nil
+}
+
+func (bp *BufferPool) freeFrame(f *frame) {
+	bp.lru.Remove(f.elem)
+	delete(bp.frames, f.pid)
+}
+
+// evict removes the least recently used unpinned frame, writing it
+// back if dirty; caller holds mu.
+func (bp *BufferPool) evict() error {
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.page.dirty {
+			if err := bp.disk.WritePage(f.pid, &f.page); err != nil {
+				return err
+			}
+		}
+		bp.freeFrame(f)
+		return nil
+	}
+	return fmt.Errorf("storage: buffer pool exhausted (all %d pages pinned)", bp.capacity)
+}
+
+// Unpin releases one pin on the page.
+func (bp *BufferPool) Unpin(pid PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[pid]; ok && f.pins > 0 {
+		f.pins--
+	}
+}
+
+// FlushAll writes every dirty page back to disk.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.page.dirty {
+			if err := bp.disk.WritePage(f.pid, &f.page); err != nil {
+				return err
+			}
+			f.page.dirty = false
+		}
+	}
+	return nil
+}
+
+// Invalidate drops any cached pages of the file without write-back
+// (used when a table is dropped).
+func (bp *BufferPool) Invalidate(file FileID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for pid, f := range bp.frames {
+		if pid.File == file {
+			bp.lru.Remove(f.elem)
+			delete(bp.frames, pid)
+		}
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (bp *BufferPool) Stats() (hits, misses int64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Disk is the simulated block device: a set of files, each a vector of
+// raw pages. Reads and writes are counted so the engine and the
+// experiments can report I/O work. Access is goroutine-safe.
+type Disk struct {
+	mu     sync.Mutex
+	files  map[FileID][][]byte
+	nextID FileID
+
+	reads  int64
+	writes int64
+
+	// failure injection for tests: when failReads/failWrites reaches
+	// zero on a countdown, the operation fails.
+	failReads  int64
+	failWrites int64
+}
+
+// FailReadsAfter makes the n+1-th subsequent read fail (n=0 fails the
+// next read). Negative disables injection.
+func (d *Disk) FailReadsAfter(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failReads = n + 1
+}
+
+// FailWritesAfter makes the n+1-th subsequent write fail.
+func (d *Disk) FailWritesAfter(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failWrites = n + 1
+}
+
+var (
+	// ErrInjectedRead is returned by injected read failures.
+	ErrInjectedRead = fmt.Errorf("storage: injected read failure")
+	// ErrInjectedWrite is returned by injected write failures.
+	ErrInjectedWrite = fmt.Errorf("storage: injected write failure")
+)
+
+// NewDisk creates an empty disk.
+func NewDisk() *Disk {
+	return &Disk{files: map[FileID][][]byte{}}
+}
+
+// CreateFile allocates a new empty file.
+func (d *Disk) CreateFile() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextID++
+	id := d.nextID
+	d.files[id] = nil
+	return id
+}
+
+// DropFile removes a file and its pages.
+func (d *Disk) DropFile(id FileID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, id)
+}
+
+// NumPages returns the number of pages in the file.
+func (d *Disk) NumPages(id FileID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files[id])
+}
+
+// AppendPage grows the file by one zero page and returns its number.
+func (d *Disk) AppendPage(id FileID) (int32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[id]
+	if !ok {
+		return 0, fmt.Errorf("storage: no file %d", id)
+	}
+	d.files[id] = append(pages, make([]byte, PageSize))
+	d.writes++
+	return int32(len(pages)), nil
+}
+
+// ReadPage copies the page into dst.
+func (d *Disk) ReadPage(pid PageID, dst *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failReads > 0 {
+		d.failReads--
+		if d.failReads == 0 {
+			return ErrInjectedRead
+		}
+	}
+	pages, ok := d.files[pid.File]
+	if !ok || int(pid.No) >= len(pages) || pid.No < 0 {
+		return fmt.Errorf("storage: read of missing page %v", pid)
+	}
+	copy(dst.buf[:], pages[pid.No])
+	dst.dirty = false
+	d.reads++
+	return nil
+}
+
+// WritePage copies the page back to the device.
+func (d *Disk) WritePage(pid PageID, src *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failWrites > 0 {
+		d.failWrites--
+		if d.failWrites == 0 {
+			return ErrInjectedWrite
+		}
+	}
+	pages, ok := d.files[pid.File]
+	if !ok || int(pid.No) >= len(pages) || pid.No < 0 {
+		return fmt.Errorf("storage: write of missing page %v", pid)
+	}
+	copy(pages[pid.No], src.buf[:])
+	d.writes++
+	return nil
+}
+
+// Stats returns the cumulative read and write counts.
+func (d *Disk) Stats() (reads, writes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes
+}
+
+// ResetStats zeroes the I/O counters.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reads, d.writes = 0, 0
+}

@@ -1,0 +1,45 @@
+package tango_test
+
+import (
+	"fmt"
+
+	"tango/internal/engine"
+	"tango/internal/server"
+	"tango/internal/tango"
+	"tango/internal/tsql"
+	"tango/internal/wire"
+)
+
+// Example shows the complete middleware loop on the paper's running
+// example: boot a DBMS, load Figure 3(a), ask the temporal aggregation
+// question in temporal SQL, and let the optimizer split the plan.
+func Example() {
+	db := engine.Open(engine.Config{})
+	srv := server.New(db, wire.Latency{})
+	mw := tango.Open(srv, tango.Options{HistogramBuckets: 8})
+
+	mw.Conn.Exec("CREATE TABLE POSITION (PosID INTEGER, EmpName VARCHAR(40), T1 INTEGER, T2 INTEGER)")
+	mw.Conn.Exec("INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)")
+
+	plan, err := tsql.Parse(`VALIDTIME SELECT PosID, COUNT(PosID)
+		FROM POSITION GROUP BY PosID ORDER BY PosID`, mw.Cat)
+	if err != nil {
+		panic(err)
+	}
+	result, _, err := mw.Run(plan)
+	if err != nil {
+		panic(err)
+	}
+	pos := result.Schema.MustIndex("PosID")
+	t1 := result.Schema.MustIndex("T1")
+	t2 := result.Schema.MustIndex("T2")
+	cnt := result.Schema.MustIndex("COUNTofPosID")
+	for _, row := range result.Tuples {
+		fmt.Printf("%v [%v,%v) -> %v\n", row[pos], row[t1], row[t2], row[cnt])
+	}
+	// Output:
+	// 1 [2,5) -> 1
+	// 1 [5,20) -> 2
+	// 1 [20,25) -> 1
+	// 2 [5,10) -> 1
+}

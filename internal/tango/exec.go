@@ -1,0 +1,282 @@
+// Package tango is the temporal middleware façade: it owns the
+// connection to the DBMS, the statistics collector, the cost
+// estimator, the optimizer, and the execution engine, and exposes the
+// public API a client application uses to run temporal queries.
+package tango
+
+import (
+	"fmt"
+
+	"tango/internal/algebra"
+	"tango/internal/client"
+	"tango/internal/rel"
+	"tango/internal/sqlgen"
+	"tango/internal/types"
+	"tango/internal/xxl"
+)
+
+// Executor turns a validated physical plan (an algebra tree with
+// transfer operators) into a pipelined iterator: DBMS-resident parts
+// are translated to SQL and pulled through TRANSFER^M; middleware
+// parts run on the XXL algorithms.
+type Executor struct {
+	Conn *client.Conn
+	Cat  algebra.Catalog
+	// Hint pins the DBMS join method in generated SQL (Query 4 uses
+	// this the way the paper uses Oracle hints).
+	Hint string
+	// UseInserts makes TRANSFER^D take the conventional per-row INSERT
+	// path instead of the bulk loader (ablation).
+	UseInserts bool
+	// ShareTransfers enables the §7 refinement: identical T^M
+	// statements within one plan are issued once and their result is
+	// shared by all consumers.
+	ShareTransfers bool
+
+	transfersM []*xxl.TransferM
+	transfersD []*xxl.TransferD
+	shared     map[string]*xxl.SharedSource
+}
+
+// Build compiles the plan into an iterator. The plan root must be
+// middleware-resident (a complete plan always has a T^M at its root).
+func (e *Executor) Build(plan *algebra.Node) (rel.Iterator, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.Loc() != algebra.LocMW {
+		return nil, fmt.Errorf("tango: plan root must be middleware-resident (add a T^M)")
+	}
+	e.transfersM = nil
+	e.transfersD = nil
+	e.shared = map[string]*xxl.SharedSource{}
+	return e.buildMW(plan)
+}
+
+// Run builds and drains the plan, returning the materialized result.
+func (e *Executor) Run(plan *algebra.Node) (*rel.Relation, error) {
+	it, err := e.Build(plan)
+	if err != nil {
+		return nil, err
+	}
+	out, err := rel.Drain(it)
+	if cerr := it.Close(); err == nil {
+		err = cerr
+	}
+	return out, err
+}
+
+// Feedback returns the transfer statistics observed by the last run
+// (valid after the iterator is drained and closed). Used to adapt the
+// cost factors.
+func (e *Executor) Feedback() []client.Feedback {
+	var out []client.Feedback
+	for _, t := range e.transfersM {
+		out = append(out, t.Feedback())
+	}
+	for _, t := range e.transfersD {
+		out = append(out, t.Feedback())
+	}
+	return out
+}
+
+func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
+	switch n.Op {
+	case algebra.OpTM:
+		return e.buildTM(n)
+
+	case algebra.OpSelect:
+		in, err := e.buildMW(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return xxl.NewFilter(in, n.Pred)
+
+	case algebra.OpProject:
+		in, err := e.buildMW(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		inSchema := in.Schema()
+		outSchema, err := n.Schema(e.Cat)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, len(n.Cols))
+		for i, pc := range n.Cols {
+			j := inSchema.ColumnIndex(pc.Src)
+			if j < 0 {
+				return nil, fmt.Errorf("tango: project: no column %q in %v", pc.Src, inSchema.Names())
+			}
+			idx[i] = j
+		}
+		return xxl.NewProject(in, idx, outSchema), nil
+
+	case algebra.OpSort:
+		in, err := e.buildMW(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := colIndexes(in.Schema(), n.Keys)
+		if err != nil {
+			return nil, err
+		}
+		return xxl.NewSort(in, keys), nil
+
+	case algebra.OpJoin, algebra.OpTJoin:
+		left, err := e.buildMW(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.buildMW(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		lkeys, err := colIndexes(left.Schema(), n.LeftCols)
+		if err != nil {
+			return nil, err
+		}
+		rkeys, err := colIndexes(right.Schema(), n.RightCols)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == algebra.OpJoin {
+			return xxl.NewMergeJoin(left, right, lkeys, rkeys), nil
+		}
+		lt1, lt2 := algebra.TimeColumns(left.Schema())
+		rt1, rt2 := algebra.TimeColumns(right.Schema())
+		if lt1 < 0 || lt2 < 0 || rt1 < 0 || rt2 < 0 {
+			return nil, fmt.Errorf("tango: temporal join inputs lack T1/T2")
+		}
+		return xxl.NewTJoin(left, right, lkeys, rkeys, lt1, lt2, rt1, rt2), nil
+
+	case algebra.OpTAggr:
+		in, err := e.buildMW(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		inSchema := in.Schema()
+		groupBy, err := colIndexes(inSchema, n.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		t1, t2 := algebra.TimeColumns(inSchema)
+		if t1 < 0 || t2 < 0 {
+			return nil, fmt.Errorf("tango: taggr input lacks T1/T2: %v", inSchema.Names())
+		}
+		outSchema, err := n.Schema(e.Cat)
+		if err != nil {
+			return nil, err
+		}
+		aggs := make([]xxl.AggSpec, len(n.Aggs))
+		for i, a := range n.Aggs {
+			spec := xxl.AggSpec{Kind: xxl.AggKind(a.Fn)}
+			if a.Fn != "COUNT" {
+				j := inSchema.ColumnIndex(a.Col)
+				if j < 0 {
+					return nil, fmt.Errorf("tango: taggr: no column %q", a.Col)
+				}
+				spec.Col = j
+			}
+			aggs[i] = spec
+		}
+		return xxl.NewTAggr(in, groupBy, t1, t2, aggs, outSchema), nil
+
+	case algebra.OpDupElim:
+		in, err := e.buildMW(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return xxl.NewDupElim(in), nil
+
+	case algebra.OpCoalesce:
+		in, err := e.buildMW(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		t1, t2 := algebra.TimeColumns(in.Schema())
+		if t1 < 0 || t2 < 0 {
+			return nil, fmt.Errorf("tango: coalesce input lacks T1/T2")
+		}
+		return xxl.NewCoalesce(in, t1, t2), nil
+
+	default:
+		return nil, fmt.Errorf("tango: operator %v cannot run in the middleware", n.Op)
+	}
+}
+
+// buildTM translates the DBMS subtree under a T^M to SQL, wiring in
+// TRANSFER^D dependencies for any middleware-resident islands below.
+func (e *Executor) buildTM(n *algebra.Node) (rel.Iterator, error) {
+	gen := &sqlgen.Gen{Cat: e.Cat, TempTables: map[*algebra.Node]string{}, Hint: e.Hint}
+	var deps []*xxl.TransferD
+	// Find T^D nodes in the DBMS region (stop descending at them).
+	var visit func(m *algebra.Node) error
+	visit = func(m *algebra.Node) error {
+		if m == nil {
+			return nil
+		}
+		if m.Op == algebra.OpTD {
+			in, err := e.buildMW(m.Left)
+			if err != nil {
+				return err
+			}
+			name := e.Conn.TempName()
+			td := xxl.NewTransferD(e.Conn, in, name)
+			td.UseInserts = e.UseInserts
+			gen.TempTables[m] = name
+			deps = append(deps, td)
+			e.transfersD = append(e.transfersD, td)
+			return nil
+		}
+		if err := visit(m.Left); err != nil {
+			return err
+		}
+		return visit(m.Right)
+	}
+	if err := visit(n.Left); err != nil {
+		return nil, err
+	}
+	sql, _, err := gen.SQL(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := n.Schema(e.Cat)
+	if err != nil {
+		return nil, err
+	}
+	tm := xxl.NewTransferM(e.Conn, sql, schema, deps...)
+	e.transfersM = append(e.transfersM, tm)
+	// §7 refinement: identical transfer statements (no T^D
+	// dependencies) are issued once per plan execution.
+	if e.ShareTransfers && len(deps) == 0 {
+		if src, ok := e.shared[sql]; ok {
+			return src.Reader(), nil
+		}
+		src := xxl.NewSharedSource(tm)
+		e.shared[sql] = src
+		return src.Reader(), nil
+	}
+	return tm, nil
+}
+
+func colIndexes(s types.Schema, names []string) ([]int, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := s.ColumnIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("tango: no column %q in %v", n, s.Names())
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+// ConnCatalog adapts a client connection to the algebra's Catalog
+// interface.
+type ConnCatalog struct{ Conn *client.Conn }
+
+// TableSchema fetches a base-table schema from the DBMS.
+func (c ConnCatalog) TableSchema(name string) (types.Schema, error) {
+	return c.Conn.TableSchema(name)
+}

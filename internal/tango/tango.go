@@ -1,0 +1,163 @@
+package tango
+
+import (
+	"fmt"
+
+	"tango/internal/algebra"
+	"tango/internal/client"
+	"tango/internal/cost"
+	"tango/internal/optimizer"
+	"tango/internal/rel"
+	"tango/internal/server"
+	"tango/internal/sqlgen"
+	"tango/internal/stats"
+)
+
+// Middleware is TANGO: the temporal middleware sitting between an
+// application and a conventional DBMS. It optimizes temporal query
+// plans, splits them between itself and the DBMS, executes them, and
+// adapts its cost factors from execution feedback.
+type Middleware struct {
+	Conn  *client.Conn
+	Cat   algebra.Catalog
+	Est   *stats.Estimator
+	Model *cost.Model
+	Opt   *optimizer.Optimizer
+
+	// Alpha is the feedback adaptation rate (0 disables adaptation).
+	Alpha float64
+}
+
+// Options configures the middleware.
+type Options struct {
+	// HistogramBuckets controls the statistics collector; 0 disables
+	// histograms (the paper evaluates Query 2 both ways).
+	HistogramBuckets int
+	// Naive switches temporal selectivity estimation to the
+	// independent-predicate straw man (for the §3.3 comparison).
+	Naive bool
+	// Alpha is the EWMA feedback rate; default 0.2.
+	Alpha float64
+	// Prefetch is the wire rows-per-fetch; 0 uses the default.
+	Prefetch int
+}
+
+// Open connects the middleware to a DBMS server.
+func Open(srv *server.Server, opts Options) *Middleware {
+	conn := client.Connect(srv)
+	conn.Prefetch = opts.Prefetch
+	cat := ConnCatalog{Conn: conn}
+	est := stats.NewEstimator(cat, conn)
+	est.HistogramBuckets = opts.HistogramBuckets
+	if opts.Naive {
+		est.Mode = stats.ModeNaive
+	}
+	model := cost.NewModel(est)
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = 0.2
+	}
+	return &Middleware{
+		Conn:  conn,
+		Cat:   cat,
+		Est:   est,
+		Model: model,
+		Opt:   optimizer.New(cat, model),
+		Alpha: alpha,
+	}
+}
+
+// Calibrate derives the cost factors from sample runs against the
+// connected DBMS (the Cost Estimator component). rows ≤ 0 uses the
+// default sample size.
+func (m *Middleware) Calibrate(rows int) error {
+	cal := &cost.Calibrator{Conn: m.Conn, Rows: rows, Seed: 1}
+	f, err := cal.Calibrate()
+	if err != nil {
+		return fmt.Errorf("tango: calibration: %w", err)
+	}
+	m.Model.F = f
+	return nil
+}
+
+// Optimize runs the two-phase optimizer on an initial plan.
+func (m *Middleware) Optimize(initial *algebra.Node) (*optimizer.Result, error) {
+	return m.Opt.Optimize(initial)
+}
+
+// Execute runs a physical plan and feeds the observed transfer costs
+// back into the cost factors.
+func (m *Middleware) Execute(plan *algebra.Node) (*rel.Relation, error) {
+	ex := &Executor{Conn: m.Conn, Cat: m.Cat}
+	out, err := ex.Run(plan)
+	if err != nil {
+		return nil, err
+	}
+	if m.Alpha > 0 {
+		for _, fb := range ex.Feedback() {
+			isLoad := len(fb.SQL) >= 4 && fb.SQL[:4] == "LOAD"
+			m.Model.F.Adapt(fb, isLoad, m.Alpha)
+		}
+	}
+	return out, nil
+}
+
+// Run optimizes an initial plan and executes the winner, returning
+// the result and the optimizer's report.
+func (m *Middleware) Run(initial *algebra.Node) (*rel.Relation, *optimizer.Result, error) {
+	res, err := m.Optimize(initial)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := m.Execute(res.Best)
+	if err != nil {
+		return nil, res, err
+	}
+	return out, res, nil
+}
+
+// Explain renders the best plan, its estimated cost, and the SQL each
+// TRANSFER^M would issue, without executing anything.
+func (m *Middleware) Explain(initial *algebra.Node) (string, error) {
+	res, err := m.Optimize(initial)
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("cost %.0f µs, %d classes, %d elements\n%s",
+		res.BestCost, res.Classes, res.Elements, res.Best)
+	sqls, err := TransferSQL(m.Cat, res.Best)
+	if err == nil && len(sqls) > 0 {
+		out += "\nDBMS statements:\n"
+		for i, s := range sqls {
+			out += fmt.Sprintf("  [%d] %s\n", i+1, s)
+		}
+	}
+	return out, nil
+}
+
+// TransferSQL returns the SQL statement under every T^M of a plan (in
+// plan order). T^D-created temp tables appear under placeholder names.
+func TransferSQL(cat algebra.Catalog, plan *algebra.Node) ([]string, error) {
+	var out []string
+	var firstErr error
+	tempNo := 0
+	plan.Walk(func(n *algebra.Node) {
+		if n.Op != algebra.OpTM || firstErr != nil {
+			return
+		}
+		gen := &sqlgen.Gen{Cat: cat, TempTables: map[*algebra.Node]string{}}
+		n.Left.Walk(func(d *algebra.Node) {
+			if d.Op == algebra.OpTD {
+				tempNo++
+				gen.TempTables[d] = fmt.Sprintf("TMP_%d", tempNo)
+			}
+		})
+		sql, _, err := gen.SQL(n.Left)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		out = append(out, sql)
+	})
+	return out, firstErr
+}

@@ -1,0 +1,235 @@
+package tango
+
+import (
+	"strings"
+	"testing"
+
+	"tango/internal/algebra"
+	"tango/internal/engine"
+	"tango/internal/server"
+	"tango/internal/tsql"
+	"tango/internal/wire"
+)
+
+// openMW builds a middleware over a small POSITION relation.
+func openMW(t *testing.T) *Middleware {
+	t.Helper()
+	db := engine.Open(engine.Config{})
+	srv := server.New(db, wire.Latency{})
+	mw := Open(srv, Options{HistogramBuckets: 8})
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := mw.Conn.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE POSITION (PosID INTEGER, EmpName VARCHAR(40), PayRate FLOAT, T1 INTEGER, T2 INTEGER)")
+	mustExec(`INSERT INTO POSITION VALUES
+		(1,'Tom',12.0,2,20),(1,'Jane',9.0,5,25),(2,'Tom',12.0,5,10),
+		(2,'Ann',11.0,10,15),(3,'Bob',8.0,1,30)`)
+	return mw
+}
+
+func TestMiddlewareRunEndToEnd(t *testing.T) {
+	mw := openMW(t)
+	plan, err := tsql.Parse(`VALIDTIME SELECT PosID, COUNT(PosID)
+		FROM POSITION GROUP BY PosID ORDER BY PosID`, mw.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, res, err := mw.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cardinality() == 0 {
+		t.Fatal("empty result")
+	}
+	if res.Classes <= 0 || res.Best == nil {
+		t.Fatalf("optimizer report incomplete: %+v", res)
+	}
+	// The chosen plan must execute the aggregation in the middleware.
+	mwAggr := false
+	res.Best.Walk(func(n *algebra.Node) {
+		if n.Op == algebra.OpTAggr && n.Loc() == algebra.LocMW {
+			mwAggr = true
+		}
+	})
+	if !mwAggr {
+		t.Errorf("TAGGR not moved to middleware:\n%s", res.Best)
+	}
+}
+
+func TestMiddlewareAdaptsFactors(t *testing.T) {
+	mw := openMW(t)
+	before := mw.Model.F.TM
+	plan, err := tsql.Parse("VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID", mw.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mw.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	if mw.Model.F.TM == before {
+		t.Error("transfer factor did not adapt from feedback")
+	}
+	// Adaptation disabled.
+	mw2 := openMW(t)
+	mw2.Alpha = -1 // negative disables (0 means "use default" in Open)
+	mw2.Alpha = 0
+	before2 := mw2.Model.F.TM
+	plan2, _ := tsql.Parse("VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID", mw2.Cat)
+	if _, _, err := mw2.Run(plan2); err != nil {
+		t.Fatal(err)
+	}
+	if mw2.Model.F.TM != before2 {
+		t.Error("alpha=0 should disable adaptation")
+	}
+}
+
+func TestMiddlewareCalibrate(t *testing.T) {
+	mw := openMW(t)
+	def := mw.Model.F
+	if err := mw.Calibrate(1500); err != nil {
+		t.Fatal(err)
+	}
+	if mw.Model.F == def {
+		t.Error("calibration left default factors")
+	}
+	if mw.Model.F.TM <= 0 || mw.Model.F.TAggrD1 <= 0 {
+		t.Errorf("bad calibrated factors: %+v", mw.Model.F)
+	}
+}
+
+func TestMiddlewareExplain(t *testing.T) {
+	mw := openMW(t)
+	plan, err := tsql.Parse("VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID", mw.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mw.Explain(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cost", "classes", "TAGGR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCoalesceQueryEndToEnd(t *testing.T) {
+	mw := openMW(t)
+	// Tom holds position 9 over two meeting periods: coalescing must
+	// merge them into one row.
+	if _, err := mw.Conn.Exec(
+		"INSERT INTO POSITION VALUES (9,'Tom',10.0,1,5),(9,'Tom',10.0,5,9)"); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := tsql.Parse(`VALIDTIME COALESCE SELECT PosID, EmpName, T1, T2
+		FROM POSITION WHERE PosID = 9 ORDER BY T1`, mw.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, res, err := mw.Run(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cardinality() != 1 {
+		t.Fatalf("coalesce result:\n%v\nplan:\n%s", out, res.Best)
+	}
+	row := out.Tuples[0]
+	t1 := out.Schema.MustIndex("T1")
+	t2 := out.Schema.MustIndex("T2")
+	if row[t1].AsInt() != 1 || row[t2].AsInt() != 9 {
+		t.Errorf("merged period = [%v, %v), want [1, 9)", row[t1], row[t2])
+	}
+	// The coalescing must have been moved into the middleware.
+	mwCoal := false
+	res.Best.Walk(func(n *algebra.Node) {
+		if n.Op == algebra.OpCoalesce && n.Loc() == algebra.LocMW {
+			mwCoal = true
+		}
+	})
+	if !mwCoal {
+		t.Errorf("coalesce not in middleware:\n%s", res.Best)
+	}
+}
+
+func TestDupElimMovable(t *testing.T) {
+	mw := openMW(t)
+	plan := algebra.TM(algebra.DupElim(
+		algebra.ProjectCols(algebra.Scan("POSITION", ""), "EmpName")))
+	res, err := mw.Optimize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both locations must appear among the candidates.
+	locs := map[algebra.Location]bool{}
+	for _, c := range res.Candidates {
+		c.Plan.Walk(func(n *algebra.Node) {
+			if n.Op == algebra.OpDupElim {
+				locs[n.Loc()] = true
+			}
+		})
+	}
+	if !locs[algebra.LocDBMS] || !locs[algebra.LocMW] {
+		t.Errorf("dupelim should be considered on both sides: %v", locs)
+	}
+	out, err := mw.Execute(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cardinality() != 4 { // Tom, Jane, Ann, Bob
+		t.Errorf("distinct names = %d\n%v", out.Cardinality(), out)
+	}
+}
+
+func TestShareTransfers(t *testing.T) {
+	db := engine.Open(engine.Config{})
+	srv := server.New(db, wire.Latency{})
+	mw := Open(srv, Options{HistogramBuckets: 8})
+	if _, err := mw.Conn.Exec("CREATE TABLE POSITION (PosID INTEGER, EmpName VARCHAR(40), PayRate FLOAT, T1 INTEGER, T2 INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.Conn.Exec(
+		"INSERT INTO POSITION VALUES (1,'Tom',12.0,2,20),(1,'Jane',9.0,5,25),(2,'Tom',12.0,5,10)"); err != nil {
+		t.Fatal(err)
+	}
+	// A self-join whose two sides issue the identical SQL — the §7
+	// refinement should issue the SELECT once.
+	side := func() *algebra.Node {
+		return algebra.Sort(
+			algebra.ProjectCols(algebra.Scan("POSITION", "A"), "A.PosID", "A.EmpName", "A.T1", "A.T2"),
+			"A.PosID")
+	}
+	mkPlan := func() *algebra.Node {
+		return algebra.TJoin(
+			algebra.TM(side()), algebra.TM(side()),
+			[]string{"A.PosID"}, []string{"A.PosID"})
+	}
+
+	base := &Executor{Conn: mw.Conn, Cat: mw.Cat}
+	qBefore, _, _ := srv.Counters()
+	ref, err := base.Run(mkPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qMid, _, _ := srv.Counters()
+	if qMid-qBefore != 2 {
+		t.Fatalf("baseline issued %d queries, want 2", qMid-qBefore)
+	}
+
+	shared := &Executor{Conn: mw.Conn, Cat: mw.Cat, ShareTransfers: true}
+	got, err := shared.Run(mkPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qAfter, _, _ := srv.Counters()
+	if qAfter-qMid != 1 {
+		t.Errorf("shared run issued %d queries, want 1", qAfter-qMid)
+	}
+	if got.Cardinality() != ref.Cardinality() || got.Cardinality() == 0 {
+		t.Fatalf("shared transfers changed the result: %d vs %d rows",
+			got.Cardinality(), ref.Cardinality())
+	}
+}

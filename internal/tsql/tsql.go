@@ -1,0 +1,375 @@
+// Package tsql parses a small temporal SQL dialect into initial
+// algebra plans — the middleware Parser component, which the paper
+// describes but did not implement ("standard language technology").
+//
+// The dialect is regular SQL with a leading VALIDTIME keyword that
+// switches on sequenced temporal semantics over [T1, T2) periods:
+//
+//	VALIDTIME SELECT PosID, COUNT(PosID)
+//	FROM POSITION GROUP BY PosID ORDER BY PosID
+//
+// becomes a temporal aggregation, and
+//
+//	VALIDTIME SELECT A.PosID, A.EmpName, B.EmpName
+//	FROM POSITION A, POSITION B WHERE A.PosID = B.PosID
+//
+// becomes a temporal join (equality plus period overlap, output
+// periods intersected). Initial plans assign all processing to the
+// DBMS with one T^M on top, exactly as §2.1 prescribes.
+package tsql
+
+import (
+	"fmt"
+	"strings"
+
+	"tango/internal/algebra"
+	"tango/internal/eval"
+	"tango/internal/sqlast"
+	"tango/internal/sqlparser"
+	"tango/internal/types"
+)
+
+// Parse translates a temporal SQL statement into an initial query
+// plan against the catalog. Modifiers after VALIDTIME:
+//
+//   - "VALIDTIME COALESCE SELECT ..." coalesces value-equivalent
+//     result tuples with adjacent or overlapping periods;
+//   - "VALIDTIME AS OF DATE 'yyyy-mm-dd' SELECT ..." is a timeslice:
+//     every FROM relation is restricted to tuples whose period
+//     contains the given day (T1 <= d AND T2 > d).
+func Parse(src string, cat algebra.Catalog) (*algebra.Node, error) {
+	trimmed := strings.TrimSpace(src)
+	validtime := false
+	coalesce := false
+	var asOf *types.Value
+	if len(trimmed) >= 9 && strings.EqualFold(trimmed[:9], "VALIDTIME") {
+		validtime = true
+		trimmed = strings.TrimSpace(trimmed[9:])
+		if len(trimmed) >= 8 && strings.EqualFold(trimmed[:8], "COALESCE") &&
+			(len(trimmed) == 8 || isSpace(trimmed[8])) {
+			coalesce = true
+			trimmed = strings.TrimSpace(trimmed[8:])
+		}
+		if len(trimmed) >= 5 && strings.EqualFold(trimmed[:5], "AS OF") {
+			rest := strings.TrimSpace(trimmed[5:])
+			// The point is everything up to the SELECT keyword.
+			up := strings.ToUpper(rest)
+			idx := strings.Index(up, "SELECT")
+			if idx < 0 {
+				return nil, fmt.Errorf("tsql: AS OF requires a following SELECT")
+			}
+			point, err := parsePoint(strings.TrimSpace(rest[:idx]))
+			if err != nil {
+				return nil, err
+			}
+			asOf = &point
+			trimmed = rest[idx:]
+		}
+	}
+	sel, err := sqlparser.ParseSelect(trimmed)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := build(sel, validtime, asOf, cat)
+	if err != nil {
+		return nil, err
+	}
+	if coalesce {
+		plan = injectCoalesce(plan)
+	}
+	return plan, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// parsePoint parses the AS OF operand: a DATE literal or a bare
+// integer day number.
+func parsePoint(src string) (types.Value, error) {
+	sel, err := sqlparser.ParseSelect("SELECT " + src)
+	if err != nil {
+		return types.Null, fmt.Errorf("tsql: bad AS OF point %q: %w", src, err)
+	}
+	lit, ok := sel.Items[0].Expr.(sqlast.Literal)
+	if !ok || lit.Value.IsNull() {
+		return types.Null, fmt.Errorf("tsql: AS OF point must be a literal, got %q", src)
+	}
+	return lit.Value, nil
+}
+
+// Build constructs the initial plan from a parsed SELECT (exported for
+// callers that parse SQL themselves).
+func Build(sel *sqlast.SelectStmt, validtime bool, cat algebra.Catalog) (*algebra.Node, error) {
+	return build(sel, validtime, nil, cat)
+}
+
+// injectCoalesce wraps the plan body (below the root T^M and any final
+// sort) with a coalescing operator; the optimizer will move it to the
+// middleware, where it executes.
+func injectCoalesce(plan *algebra.Node) *algebra.Node {
+	if plan.Op == algebra.OpTM {
+		inner := plan.Left
+		if inner.Op == algebra.OpSort {
+			inner.Left = algebra.Coalesce(inner.Left)
+			return plan
+		}
+		plan.Left = algebra.Coalesce(inner)
+		return plan
+	}
+	return algebra.TM(algebra.Coalesce(plan))
+}
+
+// build constructs the initial plan; asOf (optional) restricts every
+// FROM relation to tuples whose period contains the point.
+func build(sel *sqlast.SelectStmt, validtime bool, asOf *types.Value, cat algebra.Catalog) (*algebra.Node, error) {
+	if sel.Union != nil {
+		return nil, fmt.Errorf("tsql: UNION is not supported in temporal queries")
+	}
+	if sel.Limit > 0 {
+		return nil, fmt.Errorf("tsql: LIMIT is not supported in temporal queries (sequenced semantics has no row order to cut)")
+	}
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("tsql: a temporal query needs a FROM clause")
+	}
+
+	// FROM sources: base tables only.
+	type source struct {
+		node   *algebra.Node
+		schema types.Schema
+	}
+	var sources []source
+	for _, ref := range sel.From {
+		tn, ok := ref.(sqlast.TableName)
+		if !ok {
+			return nil, fmt.Errorf("tsql: derived tables are not supported")
+		}
+		n := algebra.Scan(tn.Name, tn.Alias)
+		s, err := n.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, source{node: n, schema: s})
+	}
+
+	// AS OF timeslice: restrict every source to periods containing the
+	// point (T1 <= d AND T2 > d, §3.3's timeslice predicate).
+	if asOf != nil {
+		for si := range sources {
+			t1i, t2i := algebra.TimeColumns(sources[si].schema)
+			if t1i < 0 || t2i < 0 {
+				return nil, fmt.Errorf("tsql: AS OF requires T1/T2 in %v", sources[si].schema.Names())
+			}
+			t1 := colRef(sources[si].schema.Cols[t1i].Name)
+			t2 := colRef(sources[si].schema.Cols[t2i].Name)
+			pt := sqlast.Literal{Value: *asOf}
+			pred := sqlast.BinaryExpr{
+				Op:    sqlast.OpAnd,
+				Left:  sqlast.BinaryExpr{Op: sqlast.OpLe, Left: t1, Right: pt},
+				Right: sqlast.BinaryExpr{Op: sqlast.OpGt, Left: t2, Right: pt},
+			}
+			sources[si].node = algebra.Select(sources[si].node, pred)
+		}
+	}
+
+	conjuncts := sqlast.Conjuncts(sel.Where)
+	used := make([]bool, len(conjuncts))
+
+	// Push single-source predicates onto their scans.
+	for si := range sources {
+		var preds []sqlast.Expr
+		for ci, c := range conjuncts {
+			if used[ci] {
+				continue
+			}
+			other := false
+			for oi := range sources {
+				if oi != si && eval.RefersOnly(c, sources[oi].schema) {
+					other = true
+				}
+			}
+			if eval.RefersOnly(c, sources[si].schema) && !other {
+				preds = append(preds, c)
+				used[ci] = true
+			}
+		}
+		if len(preds) > 0 {
+			sources[si].node = algebra.Select(sources[si].node, sqlast.AndAll(preds))
+		}
+	}
+
+	// Join left-deep; under VALIDTIME joins are temporal.
+	cur := sources[0].node
+	curSchema := sources[0].schema
+	for si := 1; si < len(sources); si++ {
+		var lcols, rcols []string
+		for ci, c := range conjuncts {
+			if used[ci] {
+				continue
+			}
+			b, ok := c.(sqlast.BinaryExpr)
+			if !ok || b.Op != sqlast.OpEq {
+				continue
+			}
+			lc, lok := b.Left.(sqlast.ColumnRef)
+			rc, rok := b.Right.(sqlast.ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			switch {
+			case curSchema.ColumnIndex(lc.String()) >= 0 && sources[si].schema.ColumnIndex(rc.String()) >= 0:
+				lcols = append(lcols, lc.String())
+				rcols = append(rcols, rc.String())
+				used[ci] = true
+			case curSchema.ColumnIndex(rc.String()) >= 0 && sources[si].schema.ColumnIndex(lc.String()) >= 0:
+				lcols = append(lcols, rc.String())
+				rcols = append(rcols, lc.String())
+				used[ci] = true
+			}
+		}
+		if len(lcols) == 0 {
+			return nil, fmt.Errorf("tsql: no equi-join condition between FROM entries")
+		}
+		if validtime {
+			cur = algebra.TJoin(cur, sources[si].node, lcols, rcols)
+		} else {
+			cur = algebra.Join(cur, sources[si].node, lcols, rcols)
+		}
+		s, err := cur.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		curSchema = s
+	}
+
+	// Residual predicates.
+	var rest []sqlast.Expr
+	for ci, c := range conjuncts {
+		if !used[ci] {
+			rest = append(rest, c)
+		}
+	}
+	if len(rest) > 0 {
+		cur = algebra.Select(cur, sqlast.AndAll(rest))
+	}
+
+	// GROUP BY under VALIDTIME is temporal aggregation.
+	if len(sel.GroupBy) > 0 {
+		if !validtime {
+			return nil, fmt.Errorf("tsql: GROUP BY requires VALIDTIME (regular aggregation belongs to the DBMS)")
+		}
+		var groupBy []string
+		for _, g := range sel.GroupBy {
+			cr, ok := g.(sqlast.ColumnRef)
+			if !ok {
+				return nil, fmt.Errorf("tsql: GROUP BY supports plain columns, got %s", g)
+			}
+			groupBy = append(groupBy, cr.String())
+		}
+		var aggs []algebra.Agg
+		for _, item := range sel.Items {
+			fc, ok := item.Expr.(sqlast.FuncCall)
+			if !ok || !sqlast.IsAggregateName(fc.Name) {
+				continue
+			}
+			if len(fc.Args) != 1 {
+				return nil, fmt.Errorf("tsql: %s needs one argument", fc.Name)
+			}
+			cr, ok := fc.Args[0].(sqlast.ColumnRef)
+			if !ok {
+				return nil, fmt.Errorf("tsql: aggregate argument must be a column, got %s", fc.Args[0])
+			}
+			aggs = append(aggs, algebra.Agg{Fn: fc.Name, Col: cr.String()})
+		}
+		if len(aggs) == 0 {
+			return nil, fmt.Errorf("tsql: VALIDTIME GROUP BY needs at least one aggregate")
+		}
+		cur = algebra.TAggr(cur, groupBy, aggs...)
+		s, err := cur.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		curSchema = s
+	}
+
+	// Projection from the select list (aggregates were consumed by the
+	// TAggr; "*" keeps everything).
+	var cols []algebra.ProjCol
+	star := false
+	for _, item := range sel.Items {
+		switch x := item.Expr.(type) {
+		case sqlast.Star:
+			star = true
+		case sqlast.ColumnRef:
+			cols = append(cols, algebra.ProjCol{Src: x.String(), As: item.Alias})
+		case sqlast.FuncCall:
+			if sqlast.IsAggregateName(x.Name) {
+				if len(sel.GroupBy) > 0 {
+					// Select the TAggr output column.
+					if cr, ok := x.Args[0].(sqlast.ColumnRef); ok {
+						out := algebra.Agg{Fn: x.Name, Col: cr.String()}.OutName()
+						cols = append(cols, algebra.ProjCol{Src: out, As: item.Alias})
+					}
+					continue
+				}
+				return nil, fmt.Errorf("tsql: aggregate %s without GROUP BY", x.Name)
+			}
+			return nil, fmt.Errorf("tsql: expression select items are not supported: %s", x)
+		default:
+			return nil, fmt.Errorf("tsql: expression select items are not supported: %s", item.Expr)
+		}
+	}
+	if !star && len(cols) > 0 {
+		if len(sel.GroupBy) > 0 {
+			// Temporal results always carry their period.
+			if !hasCol(cols, "T1") {
+				cols = append(cols, algebra.ProjCol{Src: "T1"})
+			}
+			if !hasCol(cols, "T2") {
+				cols = append(cols, algebra.ProjCol{Src: "T2"})
+			}
+		}
+		if validCols(cols, curSchema) {
+			cur = algebra.Project(cur, cols...)
+		}
+	}
+
+	// ORDER BY.
+	if len(sel.OrderBy) > 0 {
+		var keys []string
+		for _, o := range sel.OrderBy {
+			cr, ok := o.Expr.(sqlast.ColumnRef)
+			if !ok || o.Desc {
+				return nil, fmt.Errorf("tsql: ORDER BY supports plain ascending columns")
+			}
+			keys = append(keys, cr.String())
+		}
+		cur = algebra.Sort(cur, keys...)
+	}
+
+	return algebra.TM(cur), nil
+}
+
+func hasCol(cols []algebra.ProjCol, name string) bool {
+	for _, c := range cols {
+		if strings.EqualFold(algebra.Unqualify(c.Src), name) || strings.EqualFold(c.Out(), name) {
+			return true
+		}
+	}
+	return false
+}
+
+func validCols(cols []algebra.ProjCol, schema types.Schema) bool {
+	for _, c := range cols {
+		if schema.ColumnIndex(c.Src) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// colRef builds a column reference from a (possibly qualified) name.
+func colRef(name string) sqlast.ColumnRef {
+	if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+		return sqlast.ColumnRef{Table: name[:dot], Name: name[dot+1:]}
+	}
+	return sqlast.ColumnRef{Name: name}
+}

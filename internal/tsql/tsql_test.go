@@ -1,0 +1,211 @@
+package tsql
+
+import (
+	"strings"
+	"testing"
+
+	"tango/internal/algebra"
+	"tango/internal/types"
+)
+
+type fakeCat map[string]types.Schema
+
+func (c fakeCat) TableSchema(name string) (types.Schema, error) {
+	if s, ok := c[strings.ToUpper(name)]; ok {
+		return s, nil
+	}
+	return types.Schema{}, &noTable{name}
+}
+
+type noTable struct{ name string }
+
+func (e *noTable) Error() string { return "no table " + e.name }
+
+func catalog() fakeCat {
+	return fakeCat{
+		"POSITION": types.NewSchema(
+			types.Column{Name: "PosID", Kind: types.KindInt},
+			types.Column{Name: "EmpName", Kind: types.KindString},
+			types.Column{Name: "PayRate", Kind: types.KindFloat},
+			types.Column{Name: "T1", Kind: types.KindDate},
+			types.Column{Name: "T2", Kind: types.KindDate},
+		),
+		"EMPLOYEE": types.NewSchema(
+			types.Column{Name: "EmpName", Kind: types.KindString},
+			types.Column{Name: "Addr", Kind: types.KindString},
+		),
+	}
+}
+
+func mustParse(t *testing.T, src string) *algebra.Node {
+	t.Helper()
+	plan, err := Parse(src, catalog())
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("plan invalid: %v\n%s", err, plan)
+	}
+	return plan
+}
+
+func ops(n *algebra.Node) map[algebra.Op]int {
+	m := map[algebra.Op]int{}
+	n.Walk(func(x *algebra.Node) { m[x.Op]++ })
+	return m
+}
+
+func TestTemporalAggregationQuery(t *testing.T) {
+	// The paper's Query 1.
+	plan := mustParse(t, `VALIDTIME SELECT PosID, COUNT(PosID)
+		FROM POSITION GROUP BY PosID ORDER BY PosID`)
+	o := ops(plan)
+	if o[algebra.OpTAggr] != 1 || o[algebra.OpTM] != 1 || o[algebra.OpSort] != 1 {
+		t.Fatalf("ops = %v\n%s", o, plan)
+	}
+	if plan.Op != algebra.OpTM {
+		t.Error("initial plan must have T^M at the root")
+	}
+	// The initial plan assigns everything to the DBMS.
+	plan.Walk(func(n *algebra.Node) {
+		if n.Op != algebra.OpTM && n.Loc() != algebra.LocDBMS {
+			t.Errorf("initial plan has %v in the middleware", n.Op)
+		}
+	})
+	// Schema: PosID, COUNTofPosID is projected with period columns.
+	s, err := plan.Schema(catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ColumnIndex("COUNTofPosID") < 0 || s.ColumnIndex("T1") < 0 {
+		t.Errorf("schema = %v", s.Names())
+	}
+}
+
+func TestTemporalJoinQuery(t *testing.T) {
+	// The paper's Query 3 shape: temporal self-join.
+	plan := mustParse(t, `VALIDTIME SELECT A.PosID, A.EmpName, B.EmpName
+		FROM POSITION A, POSITION B
+		WHERE A.PosID = B.PosID AND A.T1 < DATE '1990-01-01'
+		ORDER BY A.PosID`)
+	o := ops(plan)
+	if o[algebra.OpTJoin] != 1 {
+		t.Fatalf("expected temporal join: %v\n%s", o, plan)
+	}
+	if o[algebra.OpSelect] != 1 {
+		t.Fatalf("selection should be pushed to the scan: %v", o)
+	}
+	// Selection must sit below the join (on the A scan).
+	var tj *algebra.Node
+	plan.Walk(func(n *algebra.Node) {
+		if n.Op == algebra.OpTJoin {
+			tj = n
+		}
+	})
+	if tj.Left.Op != algebra.OpSelect {
+		t.Errorf("selection not pushed:\n%s", plan)
+	}
+}
+
+func TestRegularJoinQuery(t *testing.T) {
+	// The paper's Query 4: regular join (no VALIDTIME).
+	plan := mustParse(t, `SELECT P.PosID, E.EmpName, E.Addr
+		FROM POSITION P, EMPLOYEE E WHERE P.EmpName = E.EmpName
+		ORDER BY P.PosID`)
+	o := ops(plan)
+	if o[algebra.OpJoin] != 1 || o[algebra.OpTJoin] != 0 {
+		t.Fatalf("ops = %v", o)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"VALIDTIME SELECT PosID FROM POSITION GROUP BY PosID",        // no aggregate
+		"SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID",    // no VALIDTIME
+		"VALIDTIME SELECT A.PosID FROM POSITION A, POSITION B",       // no join cond
+		"VALIDTIME SELECT PosID FROM (SELECT PosID FROM POSITION) X", // derived table
+		"VALIDTIME SELECT PosID + 1 FROM POSITION",                   // expression item
+		"VALIDTIME SELECT PosID FROM POSITION ORDER BY PosID DESC",   // desc
+		"VALIDTIME SELECT PosID FROM NOPE",                           // unknown table
+		"VALIDTIME SELECT PosID FROM POSITION UNION SELECT 1",        // union
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, catalog()); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	plan := mustParse(t, "VALIDTIME SELECT * FROM POSITION WHERE PayRate > 10")
+	s, err := plan.Schema(catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Errorf("star schema = %v", s.Names())
+	}
+}
+
+func TestQuery2Shape(t *testing.T) {
+	// The paper's Query 2: selection + temporal aggregation + temporal
+	// join, with the time-period and pay-rate conditions.
+	src := `VALIDTIME SELECT B.PosID, B.EmpName, COUNT(B.PosID)
+		FROM POSITION B
+		WHERE B.PayRate > 10 AND B.T1 < DATE '1984-01-01' AND B.T2 > DATE '1983-01-01'
+		GROUP BY B.PosID ORDER BY B.PosID`
+	plan := mustParse(t, src)
+	o := ops(plan)
+	if o[algebra.OpTAggr] != 1 || o[algebra.OpSelect] != 1 {
+		t.Fatalf("ops = %v\n%s", o, plan)
+	}
+}
+
+func TestAsOfTimeslice(t *testing.T) {
+	plan := mustParse(t, `VALIDTIME AS OF DATE '1996-06-01'
+		SELECT PosID, EmpName FROM POSITION ORDER BY PosID`)
+	// A selection with the timeslice predicate must sit on the scan.
+	found := false
+	plan.Walk(func(n *algebra.Node) {
+		if n.Op == algebra.OpSelect && n.Left != nil && n.Left.Op == algebra.OpScan {
+			s := n.Pred.String()
+			if strings.Contains(s, "<=") && strings.Contains(s, ">") {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Errorf("timeslice predicate missing:\n%s", plan)
+	}
+}
+
+func TestAsOfErrors(t *testing.T) {
+	for _, src := range []string{
+		"VALIDTIME AS OF SELECT PosID FROM POSITION",       // missing point
+		"VALIDTIME AS OF PosID SELECT PosID FROM POSITION", // non-literal
+		"VALIDTIME AS OF DATE '1996-01-01' FROM POSITION",  // no SELECT
+	} {
+		if _, err := Parse(src, catalog()); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCoalesceModifierShape(t *testing.T) {
+	plan := mustParse(t, `VALIDTIME COALESCE SELECT PosID, EmpName, T1, T2
+		FROM POSITION ORDER BY PosID`)
+	o := ops(plan)
+	if o[algebra.OpCoalesce] != 1 {
+		t.Fatalf("coalesce missing: %v\n%s", o, plan)
+	}
+	// Coalesce must sit below the sort (so the final order holds).
+	if plan.Op != algebra.OpTM || plan.Left.Op != algebra.OpSort {
+		t.Fatalf("shape:\n%s", plan)
+	}
+}
+
+func TestLimitRejected(t *testing.T) {
+	if _, err := Parse("VALIDTIME SELECT PosID FROM POSITION LIMIT 5", catalog()); err == nil {
+		t.Error("LIMIT in a temporal query should be rejected")
+	}
+}

@@ -1,0 +1,81 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeTuple appends a compact binary encoding of the tuple to dst and
+// returns the extended slice. The encoding is self-describing (kind
+// tags) and is shared by the storage pages and the client/server wire,
+// so that shipping a row across the middleware/DBMS boundary costs real
+// serialization work, as it does over JDBC.
+func EncodeTuple(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindNull:
+		case KindInt, KindDate, KindBool:
+			dst = binary.AppendVarint(dst, v.n)
+		case KindFloat:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		}
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from buf, returning the tuple and the
+// number of bytes consumed.
+func DecodeTuple(buf []byte) (Tuple, int, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("types: bad tuple header")
+	}
+	pos := k
+	t := make(Tuple, n)
+	for i := range t {
+		if pos >= len(buf) {
+			return nil, 0, fmt.Errorf("types: truncated tuple")
+		}
+		kind := Kind(buf[pos])
+		pos++
+		switch kind {
+		case KindNull:
+			t[i] = Null
+		case KindInt, KindDate, KindBool:
+			v, k := binary.Varint(buf[pos:])
+			if k <= 0 {
+				return nil, 0, fmt.Errorf("types: truncated varint")
+			}
+			pos += k
+			t[i] = Value{kind: kind, n: v}
+		case KindFloat:
+			if pos+8 > len(buf) {
+				return nil, 0, fmt.Errorf("types: truncated float")
+			}
+			t[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:])))
+			pos += 8
+		case KindString:
+			l, k := binary.Uvarint(buf[pos:])
+			if k <= 0 || pos+k+int(l) > len(buf) {
+				return nil, 0, fmt.Errorf("types: truncated string")
+			}
+			pos += k
+			t[i] = Str(string(buf[pos : pos+int(l)]))
+			pos += int(l)
+		default:
+			return nil, 0, fmt.Errorf("types: unknown kind %d", kind)
+		}
+	}
+	return t, pos, nil
+}
+
+// EncodedSize returns the number of bytes EncodeTuple would produce.
+func EncodedSize(t Tuple) int {
+	return len(EncodeTuple(nil, t))
+}

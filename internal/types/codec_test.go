@@ -1,0 +1,114 @@
+package types
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tuplesRoundTrip(t Tuple) bool {
+	enc := EncodeTuple(nil, t)
+	got, n, err := DecodeTuple(enc)
+	if err != nil || n != len(enc) || len(got) != len(t) {
+		return false
+	}
+	for i := range t {
+		if got[i].Kind() != t[i].Kind() || !Equal(got[i], t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := []Tuple{
+		{},
+		{Null},
+		{Int(0), Int(-1), Int(1 << 40)},
+		{Float(3.14159), Float(-0.0)},
+		{Str(""), Str("hello"), Str("O'Hara\n\x00")},
+		{Bool(true), Bool(false)},
+		{Date(9862), Null, Str("x"), Int(7)},
+	}
+	for i, c := range cases {
+		if !tuplesRoundTrip(c) {
+			t.Errorf("case %d (%v) failed round trip", i, c)
+		}
+	}
+}
+
+func TestCodecQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gen := func() Tuple {
+		n := rng.Intn(6)
+		tp := make(Tuple, n)
+		for i := range tp {
+			switch rng.Intn(6) {
+			case 0:
+				tp[i] = Null
+			case 1:
+				tp[i] = Int(rng.Int63() - rng.Int63())
+			case 2:
+				tp[i] = Float(rng.NormFloat64())
+			case 3:
+				b := make([]byte, rng.Intn(30))
+				rng.Read(b)
+				tp[i] = Str(string(b))
+			case 4:
+				tp[i] = Bool(rng.Intn(2) == 0)
+			default:
+				tp[i] = Date(rng.Int63n(30000))
+			}
+		}
+		return tp
+	}
+	f := func() bool { return tuplesRoundTrip(gen()) }
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecStream(t *testing.T) {
+	// Multiple tuples back-to-back decode at correct offsets.
+	a := Tuple{Int(1), Str("x")}
+	b := Tuple{Float(2.5)}
+	buf := EncodeTuple(nil, a)
+	buf = EncodeTuple(buf, b)
+	got1, n1, err := DecodeTuple(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, n2, err := DecodeTuple(buf[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != len(buf) || !Equal(got1[0], Int(1)) || !Equal(got2[0], Float(2.5)) {
+		t.Error("stream decode mismatch")
+	}
+}
+
+func TestCodecCorruption(t *testing.T) {
+	enc := EncodeTuple(nil, Tuple{Str("hello world"), Int(42)})
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, err := DecodeTuple(enc[:cut]); err == nil {
+			// A truncation that still parses must consume <= cut bytes —
+			// acceptable only if it decodes a full prefix; kind tags make
+			// most cuts fail. Just ensure no panic happened.
+			continue
+		}
+	}
+	bad := bytes.Clone(enc)
+	bad[1] = 250 // invalid kind tag
+	if _, _, err := DecodeTuple(bad); err == nil {
+		t.Error("invalid kind should error")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	tp := Tuple{Int(5), Str("abc")}
+	if EncodedSize(tp) != len(EncodeTuple(nil, tp)) {
+		t.Error("EncodedSize mismatch")
+	}
+}

@@ -1,0 +1,62 @@
+package types
+
+// Period is a closed-open time period [Start, End) at day granularity,
+// the representation the paper assumes throughout.
+type Period struct {
+	Start int64 // T1, inclusive
+	End   int64 // T2, exclusive
+}
+
+// Valid reports whether the period is well-formed (Start < End).
+func (p Period) Valid() bool { return p.Start < p.End }
+
+// Duration returns the number of days covered.
+func (p Period) Duration() int64 {
+	if !p.Valid() {
+		return 0
+	}
+	return p.End - p.Start
+}
+
+// Overlaps reports whether p and q share at least one day. With the
+// closed-open convention this is p.Start < q.End && p.End > q.Start —
+// the SQL condition T1 < B AND T2 > A from §3.3 of the paper.
+func (p Period) Overlaps(q Period) bool {
+	return p.Start < q.End && p.End > q.Start
+}
+
+// Contains reports whether day t lies within the period (timeslice
+// predicate: T1 <= t AND T2 > t).
+func (p Period) Contains(t int64) bool {
+	return p.Start <= t && p.End > t
+}
+
+// Intersect returns the overlap of p and q; ok is false when the
+// periods are disjoint. Used by temporal join: the output period is
+// [GREATEST(T1,T1'), LEAST(T2,T2')).
+func (p Period) Intersect(q Period) (Period, bool) {
+	r := Period{Start: max64(p.Start, q.Start), End: min64(p.End, q.End)}
+	return r, r.Valid()
+}
+
+// Meets reports whether p ends exactly where q starts.
+func (p Period) Meets(q Period) bool { return p.End == q.Start }
+
+// Merge returns the union of two overlapping-or-adjacent periods.
+func (p Period) Merge(q Period) Period {
+	return Period{Start: min64(p.Start, q.Start), End: max64(p.End, q.End)}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

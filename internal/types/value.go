@@ -1,0 +1,387 @@
+// Package types defines the value model shared by every layer of the
+// system: scalar values, attribute types, schemas, tuples, and the
+// closed-open time-period conventions used by the temporal operators.
+//
+// The paper (Slivinskas, Jensen, Snodgrass, SIGMOD 2001) works at day
+// granularity with closed-open periods [T1, T2); Date values here are
+// integer day numbers relative to 1970-01-01.
+package types
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the attribute types supported by the engine and the
+// middleware.
+type Kind uint8
+
+// Supported attribute kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindDate // day number since 1970-01-01
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	n    int64   // int, bool (0/1), date
+	f    float64 // float
+	s    string  // string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, n: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var n int64
+	if v {
+		n = 1
+	}
+	return Value{kind: KindBool, n: n}
+}
+
+// Date returns a date value holding a day number since 1970-01-01.
+func Date(day int64) Value { return Value{kind: KindDate, n: day} }
+
+// DateYMD returns a date value for the given calendar day (UTC).
+func DateYMD(year int, month time.Month, day int) Value {
+	return Date(DayOf(year, month, day))
+}
+
+// DayOf converts a calendar date to a day number since 1970-01-01.
+func DayOf(year int, month time.Month, day int) int64 {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return t.Unix() / 86400
+}
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the value as int64. Dates and booleans convert; floats
+// truncate. NULL converts to 0.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt, KindBool, KindDate:
+		return v.n
+	case KindFloat:
+		return int64(v.f)
+	case KindString:
+		n, _ := strconv.ParseInt(v.s, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the value as float64.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt, KindBool, KindDate:
+		return float64(v.n)
+	case KindFloat:
+		return v.f
+	case KindString:
+		f, _ := strconv.ParseFloat(v.s, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsString returns the value as a string. For non-strings this is the
+// display form.
+func (v Value) AsString() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
+// AsBool returns the value as a boolean; non-zero numerics are true.
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KindBool, KindInt, KindDate:
+		return v.n != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	default:
+		return false
+	}
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.n, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.n != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindDate:
+		return time.Unix(v.n*86400, 0).UTC().Format("2006-01-02")
+	default:
+		return "?"
+	}
+}
+
+// SQL renders the value as an SQL literal.
+func (v Value) SQL() string {
+	switch v.kind {
+	case KindString:
+		return "'" + escapeSQL(v.s) + "'"
+	case KindDate:
+		return "DATE '" + v.String() + "'"
+	default:
+		return v.String()
+	}
+}
+
+func escapeSQL(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+// numericKind reports whether the kind is ordered along the numeric axis.
+func numericKind(k Kind) bool {
+	switch k {
+	case KindInt, KindFloat, KindBool, KindDate:
+		return true
+	}
+	return false
+}
+
+// Compare orders two values. NULL sorts before everything; numerics
+// (including dates and booleans) compare on the numeric axis, strings
+// lexicographically. Comparing a numeric with a string compares the
+// numeric's display form.
+func Compare(a, b Value) int {
+	switch {
+	case a.kind == KindNull && b.kind == KindNull:
+		return 0
+	case a.kind == KindNull:
+		return -1
+	case b.kind == KindNull:
+		return 1
+	}
+	if numericKind(a.kind) && numericKind(b.kind) {
+		if a.kind == KindFloat || b.kind == KindFloat {
+			af, bf := a.AsFloat(), b.AsFloat()
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case a.n < b.n:
+			return -1
+		case a.n > b.n:
+			return 1
+		default:
+			return 0
+		}
+	}
+	as, bs := a.AsString(), b.AsString()
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Less reports whether a orders before b.
+func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a hash of the value consistent with Equal (for hash
+// joins and duplicate elimination).
+func (v Value) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	switch {
+	case v.kind == KindNull:
+		h.WriteByte(0)
+	case numericKind(v.kind):
+		// Normalize all numerics through float64 so Int(2), Float(2.0)
+		// and Date(2) hash alike, matching Compare.
+		var buf [9]byte
+		buf[0] = 1
+		bits := math.Float64bits(v.AsFloat())
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	default:
+		h.WriteByte(2)
+		h.WriteString(v.s)
+	}
+	return h.Sum64()
+}
+
+// Add returns a+b with numeric promotion. String addition concatenates.
+// NULL propagates.
+func Add(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.kind == KindString || b.kind == KindString {
+		return Str(a.AsString() + b.AsString())
+	}
+	if a.kind == KindFloat || b.kind == KindFloat {
+		return Float(a.AsFloat() + b.AsFloat())
+	}
+	if a.kind == KindDate || b.kind == KindDate {
+		return Date(a.AsInt() + b.AsInt())
+	}
+	return Int(a.AsInt() + b.AsInt())
+}
+
+// Sub returns a-b with numeric promotion. NULL propagates.
+func Sub(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.kind == KindFloat || b.kind == KindFloat {
+		return Float(a.AsFloat() - b.AsFloat())
+	}
+	if a.kind == KindDate && b.kind == KindDate {
+		return Int(a.n - b.n) // date difference is a day count
+	}
+	if a.kind == KindDate {
+		return Date(a.n - b.AsInt())
+	}
+	return Int(a.AsInt() - b.AsInt())
+}
+
+// Mul returns a*b with numeric promotion. NULL propagates.
+func Mul(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.kind == KindFloat || b.kind == KindFloat {
+		return Float(a.AsFloat() * b.AsFloat())
+	}
+	return Int(a.AsInt() * b.AsInt())
+}
+
+// Div returns a/b. Integer division by zero yields NULL.
+func Div(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.kind == KindFloat || b.kind == KindFloat {
+		bf := b.AsFloat()
+		if bf == 0 {
+			return Null
+		}
+		return Float(a.AsFloat() / bf)
+	}
+	bi := b.AsInt()
+	if bi == 0 {
+		return Null
+	}
+	return Int(a.AsInt() / bi)
+}
+
+// Greatest returns the larger of a and b (SQL GREATEST, used by the
+// temporal-join SQL translation). NULL propagates.
+func Greatest(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if Compare(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// Least returns the smaller of a and b (SQL LEAST). NULL propagates.
+func Least(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if Compare(a, b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// ByteSize returns the approximate in-memory/wire size of the value in
+// bytes; used for size(r) statistics.
+func (v Value) ByteSize() int {
+	switch v.kind {
+	case KindString:
+		return 4 + len(v.s)
+	case KindNull:
+		return 1
+	default:
+		return 8
+	}
+}

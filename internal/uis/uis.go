@@ -1,0 +1,223 @@
+// Package uis generates a synthetic University Information System
+// dataset standing in for the TIMECENTER UIS CD-1 data the paper
+// evaluates on (that CD is not publicly distributable). The generator
+// reproduces the published shape facts that the experiments depend on:
+//
+//   - EMPLOYEE: 49,972 tuples × 31 attributes (≈13.8 MB, ≈276 B/row);
+//   - POSITION: 83,857 tuples × 8 attributes (≈6.7 MB, ≈80 B/row);
+//   - eight POSITION subsets of 8k, 17k, 27k, 36k, 46k, 55k, 64k, 74k
+//     tuples (prefixes of the full relation);
+//   - most POSITION data concentrated after 1992, with about 65 % of
+//     time periods starting in 1995 or later (drives Query 2's knee
+//     and Query 3's crossover);
+//   - a skewed PosID frequency distribution (breaks the optimizer's
+//     uniform join-selectivity assumption exactly where the paper
+//     reports mispredictions in Query 3).
+//
+// Generation is deterministic for a given seed.
+package uis
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tango/internal/client"
+	"tango/internal/types"
+)
+
+// Full-size cardinalities from the paper.
+const (
+	EmployeeRows = 49972
+	PositionRows = 83857
+)
+
+// SubsetSizes are the eight POSITION variants of §5.1.
+var SubsetSizes = []int{8000, 17000, 27000, 36000, 46000, 55000, 64000, 74000}
+
+// PositionSchema is the 8-attribute POSITION relation.
+func PositionSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "PosID", Kind: types.KindInt},
+		types.Column{Name: "EmpID", Kind: types.KindInt},
+		types.Column{Name: "EmpName", Kind: types.KindString},
+		types.Column{Name: "Dept", Kind: types.KindString},
+		types.Column{Name: "PayRate", Kind: types.KindFloat},
+		types.Column{Name: "Title", Kind: types.KindString},
+		types.Column{Name: "T1", Kind: types.KindDate},
+		types.Column{Name: "T2", Kind: types.KindDate},
+	)
+}
+
+// EmployeeSchema is the 31-attribute EMPLOYEE relation.
+func EmployeeSchema() types.Schema {
+	cols := []types.Column{
+		{Name: "EmpID", Kind: types.KindInt},
+		{Name: "EmpName", Kind: types.KindString},
+		{Name: "Addr", Kind: types.KindString},
+		{Name: "City", Kind: types.KindString},
+		{Name: "State", Kind: types.KindString},
+		{Name: "Zip", Kind: types.KindString},
+		{Name: "Phone", Kind: types.KindString},
+		{Name: "Email", Kind: types.KindString},
+		{Name: "BirthDate", Kind: types.KindDate},
+		{Name: "HireDate", Kind: types.KindDate},
+	}
+	for i := 1; i <= 21; i++ {
+		kind := types.KindString
+		if i%3 == 0 {
+			kind = types.KindInt
+		}
+		cols = append(cols, types.Column{Name: fmt.Sprintf("Attr%02d", i), Kind: kind})
+	}
+	return types.Schema{Cols: cols}
+}
+
+var (
+	firstNames = []string{"Tom", "Jane", "Ann", "Bob", "Cat", "Dan", "Eve", "Fay",
+		"Gus", "Hal", "Ida", "Jon", "Kim", "Lee", "Mia", "Ned", "Ola", "Pam",
+		"Quin", "Ray", "Sue", "Ted", "Uma", "Vic", "Wes", "Xia", "Yan", "Zoe"}
+	lastNames = []string{"Smith", "Jones", "Brown", "Olsen", "Young", "Lopez",
+		"Nguyen", "Kumar", "Chen", "Ivanov", "Muller", "Silva", "Sato", "Kim"}
+	departments = []string{"CS", "Math", "Physics", "Biology", "History",
+		"English", "Law", "Medicine", "Economics", "Music"}
+	titles = []string{"Assistant", "Associate", "Professor", "Lecturer",
+		"Instructor", "Researcher", "TA", "RA", "Staff", "Visiting"}
+	cities = []string{"Tucson", "Aalborg", "Phoenix", "Copenhagen", "Tempe", "Aarhus"}
+)
+
+// Generator produces the two relations.
+type Generator struct {
+	Seed int64
+}
+
+// Positions generates n POSITION tuples. PosIDs follow a skewed
+// (approximately Zipfian) frequency distribution; period starts are
+// bimodal: ~35 % uniform over 1980–1994, ~65 % over 1995–1998.
+func (g *Generator) Positions(n int) []types.Tuple {
+	rng := rand.New(rand.NewSource(g.Seed + 101))
+	zipf := rand.NewZipf(rng, 1.3, 4, 799) // PosIDs 1..800, skewed
+	early1 := types.DayOf(1980, time.January, 1)
+	early2 := types.DayOf(1995, time.January, 1)
+	late2 := types.DayOf(1998, time.July, 1)
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		posID := int64(zipf.Uint64()) + 1
+		empID := rng.Int63n(EmployeeRows) + 1
+		var start int64
+		if rng.Float64() < 0.65 {
+			// Period starts 1995 or later.
+			start = early2 + rng.Int63n(late2-early2)
+		} else {
+			// Mostly after 1992 within the early mass too: weight the
+			// tail of 1980–1994 so that "most data is concentrated
+			// after 1992" (§5.2, Query 2).
+			if rng.Float64() < 0.6 {
+				start = types.DayOf(1992, time.January, 1) +
+					rng.Int63n(early2-types.DayOf(1992, time.January, 1))
+			} else {
+				start = early1 + rng.Int63n(types.DayOf(1992, time.January, 1)-early1)
+			}
+		}
+		duration := 30 + rng.Int63n(1400) // one month to ~4 years
+		rows[i] = types.Tuple{
+			types.Int(posID),
+			types.Int(empID),
+			types.Str(name(rng)),
+			types.Str(departments[rng.Intn(len(departments))]),
+			types.Float(5 + float64(rng.Intn(4500))/100), // $5.00–$50.00
+			types.Str(titles[rng.Intn(len(titles))]),
+			types.Date(start),
+			types.Date(start + duration),
+		}
+	}
+	return rows
+}
+
+// Employees generates n EMPLOYEE tuples (n ≤ 0 means the full
+// 49,972). Filler attributes pad each row to roughly the paper's
+// ≈276-byte average.
+func (g *Generator) Employees(n int) []types.Tuple {
+	if n <= 0 {
+		n = EmployeeRows
+	}
+	rng := rand.New(rand.NewSource(g.Seed + 202))
+	schema := EmployeeSchema()
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		empName := name(rng)
+		row := types.Tuple{
+			types.Int(int64(i) + 1),
+			types.Str(empName),
+			types.Str(fmt.Sprintf("%d %s St", 1+rng.Intn(9999), lastNames[rng.Intn(len(lastNames))])),
+			types.Str(cities[rng.Intn(len(cities))]),
+			types.Str("AZ"),
+			types.Str(fmt.Sprintf("%05d", rng.Intn(99999))),
+			types.Str(fmt.Sprintf("(520) %03d-%04d", rng.Intn(1000), rng.Intn(10000))),
+			types.Str(fmt.Sprintf("%s.%d@uis.edu", empName, i+1)),
+			types.Date(types.DayOf(1940+rng.Intn(40), time.Month(1+rng.Intn(12)), 1+rng.Intn(28))),
+			types.Date(types.DayOf(1975+rng.Intn(22), time.Month(1+rng.Intn(12)), 1+rng.Intn(28))),
+		}
+		for c := 10; c < schema.Len(); c++ {
+			if schema.Cols[c].Kind == types.KindInt {
+				row = append(row, types.Int(rng.Int63n(100000)))
+			} else {
+				row = append(row, types.Str(filler(rng, 8)))
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func name(rng *rand.Rand) string {
+	return firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+}
+
+func filler(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+// Load creates and bulk-loads the UIS relations into the DBMS:
+// POSITION (positionRows tuples; ≤0 means full size), EMPLOYEE
+// (employeeRows; ≤0 full), plus ANALYZE with the given histogram
+// buckets. It returns the names of the loaded tables.
+func Load(conn *client.Conn, positionRows, employeeRows, histogramBuckets int) ([]string, error) {
+	g := &Generator{Seed: 1}
+	if positionRows <= 0 {
+		positionRows = PositionRows
+	}
+	if err := conn.CreateTable("POSITION", PositionSchema()); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Load("POSITION", g.Positions(positionRows)); err != nil {
+		return nil, err
+	}
+	if err := conn.CreateTable("EMPLOYEE", EmployeeSchema()); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Load("EMPLOYEE", g.Employees(employeeRows)); err != nil {
+		return nil, err
+	}
+	// Secondary indexes: the DBMS join methods of Query 4 (index
+	// nested loop) and the clustering statistics need them.
+	for _, ddl := range []string{
+		"CREATE INDEX pos_posid ON POSITION (PosID)",
+		"CREATE INDEX pos_empid ON POSITION (EmpID)",
+		"CREATE INDEX emp_empid ON EMPLOYEE (EmpID)",
+	} {
+		if _, err := conn.Exec(ddl); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range []string{"POSITION", "EMPLOYEE"} {
+		if _, err := conn.Exec(fmt.Sprintf("ANALYZE %s HISTOGRAM %d", t, histogramBuckets)); err != nil {
+			return nil, err
+		}
+	}
+	return []string{"POSITION", "EMPLOYEE"}, nil
+}

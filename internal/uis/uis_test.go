@@ -1,0 +1,133 @@
+package uis
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/client"
+	"tango/internal/engine"
+	"tango/internal/server"
+	"tango/internal/types"
+	"tango/internal/wire"
+)
+
+func TestPositionShapeFacts(t *testing.T) {
+	g := &Generator{Seed: 1}
+	rows := g.Positions(20000)
+	if len(rows) != 20000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	cut95 := types.DayOf(1995, time.January, 1)
+	cut92 := types.DayOf(1992, time.January, 1)
+	after95, after92 := 0, 0
+	posFreq := map[int64]int{}
+	for _, r := range rows {
+		if len(r) != 8 {
+			t.Fatalf("arity = %d", len(r))
+		}
+		t1, t2 := r[6].AsInt(), r[7].AsInt()
+		if t1 >= t2 {
+			t.Fatalf("invalid period: %v", r)
+		}
+		if t1 >= cut95 {
+			after95++
+		}
+		if t1 >= cut92 {
+			after92++
+		}
+		posFreq[r[0].AsInt()]++
+	}
+	// ~65% of periods start 1995 or later (§5.2 Query 3).
+	frac95 := float64(after95) / float64(len(rows))
+	if frac95 < 0.58 || frac95 > 0.72 {
+		t.Errorf("fraction starting ≥1995 = %.2f, want ≈ 0.65", frac95)
+	}
+	// Most data concentrated after 1992 (§5.2 Query 2).
+	if frac92 := float64(after92) / float64(len(rows)); frac92 < 0.75 {
+		t.Errorf("fraction starting ≥1992 = %.2f, want > 0.75", frac92)
+	}
+	// Skew: the most frequent PosID should be far above average.
+	maxFreq := 0
+	for _, f := range posFreq {
+		if f > maxFreq {
+			maxFreq = f
+		}
+	}
+	avg := float64(len(rows)) / float64(len(posFreq))
+	if float64(maxFreq) < 5*avg {
+		t.Errorf("PosID distribution not skewed: max %d vs avg %.1f", maxFreq, avg)
+	}
+}
+
+func TestEmployeeShapeFacts(t *testing.T) {
+	g := &Generator{Seed: 1}
+	rows := g.Employees(1000)
+	schema := EmployeeSchema()
+	if schema.Len() != 31 {
+		t.Fatalf("EMPLOYEE arity = %d, want 31", schema.Len())
+	}
+	var total int
+	for _, r := range rows {
+		if len(r) != 31 {
+			t.Fatalf("row arity = %d", len(r))
+		}
+		total += r.ByteSize()
+	}
+	avg := float64(total) / float64(len(rows))
+	// The paper's EMPLOYEE is ≈276 B/tuple (13.8 MB / 49,972).
+	if avg < 180 || avg > 380 {
+		t.Errorf("avg tuple size = %.0f B, want ≈ 276", avg)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := (&Generator{Seed: 7}).Positions(100)
+	b := (&Generator{Seed: 7}).Positions(100)
+	for i := range a {
+		for j := range a[i] {
+			if !types.Equal(a[i][j], b[i][j]) {
+				t.Fatalf("generation not deterministic at row %d", i)
+			}
+		}
+	}
+	c := (&Generator{Seed: 8}).Positions(100)
+	same := true
+	for i := range a {
+		if !types.Equal(a[i][0], c[i][0]) || !types.Equal(a[i][6], c[i][6]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestLoadIntoDBMS(t *testing.T) {
+	db := engine.Open(engine.Config{})
+	srv := server.New(db, wire.Latency{})
+	conn := client.Connect(srv)
+	tables, err := Load(conn, 2000, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %v", tables)
+	}
+	stats, err := conn.TableStats("POSITION", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cardinality != 2000 {
+		t.Errorf("POSITION cardinality = %d", stats.Cardinality)
+	}
+	if stats.Column("T1") == nil || stats.Column("T1").Histogram == nil {
+		t.Error("ANALYZE should have built histograms")
+	}
+	est, err := conn.TableStats("EMPLOYEE", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cardinality != 1000 {
+		t.Errorf("EMPLOYEE cardinality = %d", est.Cardinality)
+	}
+}

@@ -1,0 +1,110 @@
+// Package wire implements the client/server boundary between the
+// middleware and the DBMS: batched binary row serialization (every row
+// crossing the boundary is really encoded and decoded, as over JDBC)
+// and an optional latency model for round trips and bandwidth. The
+// batch size is the paper's Oracle "row prefetch" setting.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"tango/internal/types"
+)
+
+// DefaultPrefetch is the default number of rows per fetch batch.
+const DefaultPrefetch = 256
+
+// EncodeBatch appends the encoding of rows to dst: a row count
+// followed by each tuple.
+func EncodeBatch(dst []byte, rows []types.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	for _, r := range rows {
+		dst = types.EncodeTuple(dst, r)
+	}
+	return dst
+}
+
+// DecodeBatch decodes a batch produced by EncodeBatch.
+func DecodeBatch(data []byte) ([]types.Tuple, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("wire: bad batch header")
+	}
+	pos := k
+	rows := make([]types.Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t, used, err := types.DecodeTuple(data[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: row %d: %w", i, err)
+		}
+		pos += used
+		rows = append(rows, t)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(data)-pos)
+	}
+	return rows, nil
+}
+
+// EncodeSchema serializes a schema (names and kinds).
+func EncodeSchema(dst []byte, s types.Schema) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.Len()))
+	for _, c := range s.Cols {
+		dst = binary.AppendUvarint(dst, uint64(len(c.Name)))
+		dst = append(dst, c.Name...)
+		dst = append(dst, byte(c.Kind))
+	}
+	return dst
+}
+
+// DecodeSchema deserializes a schema and returns the bytes consumed.
+func DecodeSchema(data []byte) (types.Schema, int, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return types.Schema{}, 0, fmt.Errorf("wire: bad schema header")
+	}
+	pos := k
+	cols := make([]types.Column, n)
+	for i := range cols {
+		l, k2 := binary.Uvarint(data[pos:])
+		if k2 <= 0 || pos+k2+int(l)+1 > len(data) {
+			return types.Schema{}, 0, fmt.Errorf("wire: truncated schema")
+		}
+		pos += k2
+		cols[i].Name = string(data[pos : pos+int(l)])
+		pos += int(l)
+		cols[i].Kind = types.Kind(data[pos])
+		pos++
+	}
+	return types.Schema{Cols: cols}, pos, nil
+}
+
+// Latency models the network between middleware and DBMS. The zero
+// value is a free network (no sleeping), appropriate for unit tests;
+// experiments configure realistic values to make transfer costs
+// visible, as they are over a real JDBC connection.
+type Latency struct {
+	// RoundTrip is charged once per request (query, fetch, exec).
+	RoundTrip time.Duration
+	// BytesPerSecond throttles payload transfer; 0 means unlimited.
+	BytesPerSecond float64
+}
+
+// Transmit returns the time to ship n payload bytes one way.
+func (l Latency) Transmit(n int) time.Duration {
+	if l.BytesPerSecond <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / l.BytesPerSecond * float64(time.Second))
+}
+
+// Charge sleeps for one round trip plus the transmit time of n bytes.
+// It is a no-op for the zero Latency.
+func (l Latency) Charge(n int) {
+	d := l.RoundTrip + l.Transmit(n)
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

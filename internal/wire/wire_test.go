@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/types"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	rows := []types.Tuple{
+		{types.Int(1), types.Str("Tom"), types.Date(9862)},
+		{types.Int(2), types.Null, types.Float(2.5)},
+	}
+	enc := EncodeBatch(nil, rows)
+	got, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if !types.Equal(got[i][j], rows[i][j]) {
+				t.Errorf("row %d col %d: %v vs %v", i, j, got[i][j], rows[i][j])
+			}
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	enc := EncodeBatch(nil, nil)
+	got, err := DecodeBatch(enc)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+func TestBatchCorruption(t *testing.T) {
+	enc := EncodeBatch(nil, []types.Tuple{{types.Str("hello")}})
+	if _, err := DecodeBatch(enc[:len(enc)-2]); err == nil {
+		t.Error("truncated batch should fail")
+	}
+	if _, err := DecodeBatch(append(enc, 0xFF)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := types.NewSchema(
+		types.Column{Name: "PosID", Kind: types.KindInt},
+		types.Column{Name: "A.T1", Kind: types.KindDate},
+	)
+	enc := EncodeSchema(nil, s)
+	got, n, err := DecodeSchema(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if !got.Equal(s) {
+		t.Errorf("schema: %v vs %v", got, s)
+	}
+}
+
+func TestLatencyTransmit(t *testing.T) {
+	var free Latency
+	if free.Transmit(1<<20) != 0 {
+		t.Error("zero latency should be free")
+	}
+	l := Latency{BytesPerSecond: 1e6}
+	if d := l.Transmit(1e6); d != time.Second {
+		t.Errorf("Transmit = %v", d)
+	}
+	start := time.Now()
+	free.Charge(1 << 20) // must not sleep
+	if time.Since(start) > 5*time.Millisecond {
+		t.Error("zero latency slept")
+	}
+}

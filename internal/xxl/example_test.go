@@ -1,0 +1,73 @@
+package xxl_test
+
+import (
+	"fmt"
+
+	"tango/internal/rel"
+	"tango/internal/types"
+	"tango/internal/xxl"
+)
+
+// ExampleTAggr reproduces Figure 3(c) of the paper: the number of
+// employees per position over time, computed by the sweep-line
+// temporal aggregation.
+func ExampleTAggr() {
+	position := rel.New(types.NewSchema(
+		types.Column{Name: "PosID", Kind: types.KindInt},
+		types.Column{Name: "EmpName", Kind: types.KindString},
+		types.Column{Name: "T1", Kind: types.KindInt},
+		types.Column{Name: "T2", Kind: types.KindInt},
+	))
+	position.Append(types.Tuple{types.Int(1), types.Str("Tom"), types.Int(2), types.Int(20)})
+	position.Append(types.Tuple{types.Int(1), types.Str("Jane"), types.Int(5), types.Int(25)})
+	position.Append(types.Tuple{types.Int(2), types.Str("Tom"), types.Int(5), types.Int(10)})
+
+	// TAGGR^M requires its input sorted on the grouping attributes and T1.
+	position.SortBy("PosID", "T1")
+
+	out := types.NewSchema(
+		types.Column{Name: "PosID", Kind: types.KindInt},
+		types.Column{Name: "T1", Kind: types.KindInt},
+		types.Column{Name: "T2", Kind: types.KindInt},
+		types.Column{Name: "COUNT", Kind: types.KindInt},
+	)
+	ta := xxl.NewTAggr(position.Iter(), []int{0}, 2, 3,
+		[]xxl.AggSpec{{Kind: xxl.AggCount}}, out)
+	result, err := rel.Drain(ta)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range result.Tuples {
+		fmt.Printf("position %v: [%v, %v) count %v\n", row[0], row[1], row[2], row[3])
+	}
+	// Output:
+	// position 1: [2, 5) count 1
+	// position 1: [5, 20) count 2
+	// position 1: [20, 25) count 1
+	// position 2: [5, 10) count 1
+}
+
+// ExampleCoalesce merges value-equivalent tuples whose periods meet or
+// overlap.
+func ExampleCoalesce() {
+	history := rel.New(types.NewSchema(
+		types.Column{Name: "Name", Kind: types.KindString},
+		types.Column{Name: "T1", Kind: types.KindInt},
+		types.Column{Name: "T2", Kind: types.KindInt},
+	))
+	history.Append(types.Tuple{types.Str("Tom"), types.Int(1), types.Int(5)})
+	history.Append(types.Tuple{types.Str("Tom"), types.Int(5), types.Int(9)})
+	history.Append(types.Tuple{types.Str("Tom"), types.Int(12), types.Int(15)})
+	history.SortBy("Name", "T1")
+
+	out, err := rel.Drain(xxl.NewCoalesce(history.Iter(), 1, 2))
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range out.Tuples {
+		fmt.Printf("%v: [%v, %v)\n", row[0], row[1], row[2])
+	}
+	// Output:
+	// Tom: [1, 9)
+	// Tom: [12, 15)
+}

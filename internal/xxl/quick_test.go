@@ -1,0 +1,230 @@
+package xxl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tango/internal/rel"
+	"tango/internal/types"
+)
+
+// genRelation builds a random two-column relation from quick's fuzz
+// values.
+func genRelation(keys []int16, payload []int8) *rel.Relation {
+	r := rel.New(types.NewSchema(
+		types.Column{Name: "K", Kind: types.KindInt},
+		types.Column{Name: "V", Kind: types.KindInt},
+	))
+	for i, k := range keys {
+		v := int64(0)
+		if i < len(payload) {
+			v = int64(payload[i])
+		}
+		r.Append(types.Tuple{types.Int(int64(k)), types.Int(v)})
+	}
+	return r
+}
+
+func TestQuickSortIsPermutationAndOrdered(t *testing.T) {
+	f := func(keys []int16, payload []int8) bool {
+		in := genRelation(keys, payload)
+		s := NewSort(in.Iter(), []int{0})
+		s.MemTuples = 16 // force spills on larger fuzz inputs
+		out, err := rel.Drain(s)
+		if err != nil {
+			return false
+		}
+		if !rel.EqualAsMultisets(in, out) {
+			return false
+		}
+		for i := 1; i < out.Cardinality(); i++ {
+			if out.Tuples[i-1][0].AsInt() > out.Tuples[i][0].AsInt() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDupElimIdempotentAndMinimal(t *testing.T) {
+	f := func(keys []int16) bool {
+		in := genRelation(keys, nil)
+		once, err := rel.Drain(NewDupElim(in.Iter()))
+		if err != nil {
+			return false
+		}
+		twice, err := rel.Drain(NewDupElim(once.Iter()))
+		if err != nil {
+			return false
+		}
+		if !rel.EqualAsLists(once, twice) {
+			return false
+		}
+		// Count distinct keys the boring way.
+		distinct := map[int16]bool{}
+		for _, k := range keys {
+			distinct[k] = true
+		}
+		return once.Cardinality() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeJoinMatchesNestedLoop(t *testing.T) {
+	f := func(lkeys, rkeys []uint8) bool {
+		l := genRelation(widen(lkeys), nil)
+		r := genRelation(widen(rkeys), nil)
+		l.SortBy("K")
+		r.SortBy("K")
+		mj, err := rel.Drain(NewMergeJoin(l.Iter(), r.Iter(), []int{0}, []int{0}))
+		if err != nil {
+			return false
+		}
+		// Reference: nested loop.
+		want := 0
+		for _, lt := range l.Tuples {
+			for _, rt := range r.Tuples {
+				if types.Equal(lt[0], rt[0]) {
+					want++
+				}
+			}
+		}
+		return mj.Cardinality() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func widen(xs []uint8) []int16 {
+	out := make([]int16, len(xs))
+	for i, x := range xs {
+		out[i] = int16(x % 16) // dense keys → plenty of matches
+	}
+	return out
+}
+
+// TestQuickTAggrCoverage checks the sweep's coverage invariant: for
+// every input tuple and every day in its period, exactly the intervals
+// containing that day count it — i.e. summing interval-length × count
+// over the output equals summing durations over the input.
+func TestQuickTAggrCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(80)
+		in := rel.New(types.NewSchema(
+			types.Column{Name: "G", Kind: types.KindInt},
+			types.Column{Name: "T1", Kind: types.KindInt},
+			types.Column{Name: "T2", Kind: types.KindInt},
+		))
+		var totalDays int64
+		for i := 0; i < n; i++ {
+			s := rng.Int63n(60)
+			e := s + 1 + rng.Int63n(25)
+			in.Append(types.Tuple{types.Int(rng.Int63n(3)), types.Int(s), types.Int(e)})
+			totalDays += e - s
+		}
+		in.SortBy("G", "T1")
+		out := types.NewSchema(
+			types.Column{Name: "G", Kind: types.KindInt},
+			types.Column{Name: "T1", Kind: types.KindInt},
+			types.Column{Name: "T2", Kind: types.KindInt},
+			types.Column{Name: "N", Kind: types.KindInt},
+		)
+		ta := NewTAggr(in.Iter(), []int{0}, 1, 2, []AggSpec{{Kind: AggCount}}, out)
+		got, err := rel.Drain(ta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var covered int64
+		for _, row := range got.Tuples {
+			covered += (row[2].AsInt() - row[1].AsInt()) * row[3].AsInt()
+		}
+		if covered != totalDays {
+			t.Fatalf("trial %d: covered %d tuple-days, want %d", trial, covered, totalDays)
+		}
+	}
+}
+
+// TestQuickCoalescePreservesCoverage: coalescing must keep exactly the
+// same set of (value, day) facts.
+func TestQuickCoalescePreservesCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	coverage := func(r *rel.Relation) map[[2]int64]bool {
+		m := map[[2]int64]bool{}
+		for _, t := range r.Tuples {
+			for d := t[1].AsInt(); d < t[2].AsInt(); d++ {
+				m[[2]int64{t[0].AsInt(), d}] = true
+			}
+		}
+		return m
+	}
+	for trial := 0; trial < 30; trial++ {
+		in := rel.New(types.NewSchema(
+			types.Column{Name: "G", Kind: types.KindInt},
+			types.Column{Name: "T1", Kind: types.KindInt},
+			types.Column{Name: "T2", Kind: types.KindInt},
+		))
+		for i := 0; i < 1+rng.Intn(50); i++ {
+			s := rng.Int63n(40)
+			in.Append(types.Tuple{types.Int(rng.Int63n(4)), types.Int(s), types.Int(s + 1 + rng.Int63n(15))})
+		}
+		in.SortBy("G", "T1")
+		out, err := rel.Drain(NewCoalesce(in.Iter(), 1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := coverage(in)
+		got := coverage(out)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: coverage %d vs %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: lost fact %v", trial, k)
+			}
+		}
+	}
+}
+
+// TestQuickSortKeysSubsetStable: sorting by a prefix then the full key
+// must equal sorting by the full key (T12's correctness condition).
+func TestQuickSortPrefixComposition(t *testing.T) {
+	f := func(keys []int16, payload []int8) bool {
+		in := genRelation(keys, payload)
+		full, err := rel.Drain(NewSort(in.Iter(), []int{0, 1}))
+		if err != nil {
+			return false
+		}
+		prefixed, err := rel.Drain(NewSort(in.Iter(), []int{0}))
+		if err != nil {
+			return false
+		}
+		composed, err := rel.Drain(NewSort(prefixed.Iter(), []int{0, 1}))
+		if err != nil {
+			return false
+		}
+		return rel.EqualAsLists(full, composed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sanity: the quick generators produce non-trivial inputs.
+func TestQuickGeneratorsSane(t *testing.T) {
+	r := genRelation([]int16{3, 1, 2}, []int8{9, 8, 7})
+	if r.Cardinality() != 3 || r.Tuples[0][1].AsInt() != 9 {
+		t.Fatalf("generator: %v", r)
+	}
+	ws := widen([]uint8{0, 15, 16, 255})
+	if ws[2] != 0 || ws[3] != 15 {
+		t.Fatalf("widen should fold keys mod 16: %v", ws)
+	}
+}

@@ -1,0 +1,79 @@
+package xxl
+
+import (
+	"fmt"
+
+	"tango/internal/rel"
+	"tango/internal/types"
+)
+
+// SharedSource materializes an inner iterator once and serves any
+// number of independent readers over the buffered tuples. It
+// implements the §7 refinement of the paper: "if a query is to access
+// the same DBMS relation twice (even if the projected attributes are
+// different), it would be beneficial to issue only one T^M operation."
+// The execution layer wraps duplicate TRANSFER^M statements in one
+// SharedSource and hands each consumer a Reader.
+type SharedSource struct {
+	in  rel.Iterator
+	rel *rel.Relation
+	err error
+	ran bool
+}
+
+// NewSharedSource wraps an iterator for multi-reader use.
+func NewSharedSource(in rel.Iterator) *SharedSource {
+	return &SharedSource{in: in}
+}
+
+// materialize drains the inner iterator exactly once.
+func (s *SharedSource) materialize() error {
+	if s.ran {
+		return s.err
+	}
+	s.ran = true
+	s.rel, s.err = rel.Drain(s.in)
+	if cerr := s.in.Close(); s.err == nil {
+		s.err = cerr
+	}
+	return s.err
+}
+
+// Reader returns a new independent iterator over the shared tuples.
+func (s *SharedSource) Reader() *SharedReader {
+	return &SharedReader{src: s, pos: -1}
+}
+
+// SharedReader is one consumer of a SharedSource.
+type SharedReader struct {
+	src *SharedSource
+	pos int
+}
+
+// Schema returns the source schema.
+func (r *SharedReader) Schema() types.Schema { return r.src.in.Schema() }
+
+// Open triggers the one-time materialization.
+func (r *SharedReader) Open() error {
+	if err := r.src.materialize(); err != nil {
+		return err
+	}
+	r.pos = 0
+	return nil
+}
+
+// Next returns the next shared tuple.
+func (r *SharedReader) Next() (types.Tuple, bool, error) {
+	if r.pos < 0 {
+		return nil, false, fmt.Errorf("xxl: shared reader not opened")
+	}
+	if r.pos >= r.src.rel.Cardinality() {
+		return nil, false, nil
+	}
+	t := r.src.rel.Tuples[r.pos]
+	r.pos++
+	return t, true, nil
+}
+
+// Close releases nothing (the buffer is shared); idempotent.
+func (r *SharedReader) Close() error { return nil }

@@ -1,0 +1,296 @@
+// Package xxl implements the middleware's query-processing algorithms
+// as pipelined iterators, in the style of the XXL library the paper
+// builds on: external sort, merge join, temporal (overlap) merge join,
+// sweep-line temporal aggregation, filtering, projection, duplicate
+// elimination, coalescing, and the two transfer algorithms. All
+// middleware algorithms are order preserving, which is what lets the
+// optimizer use list equivalences for middleware-resident plan parts.
+package xxl
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"sort"
+
+	"tango/internal/rel"
+	"tango/internal/types"
+)
+
+// DefaultSortMemory is the number of tuples SORT^M holds in memory
+// before spilling a run to disk.
+const DefaultSortMemory = 1 << 17 // 128k tuples
+
+// Sort is SORT^M: an external merge sort. Runs of at most MemTuples
+// tuples are sorted in memory; larger inputs spill sorted runs to
+// temporary files and merge them with a k-way heap.
+type Sort struct {
+	in        rel.Iterator
+	keys      []int
+	descs     []bool
+	MemTuples int
+
+	rows   []types.Tuple // in-memory case
+	pos    int
+	merger *runMerger // external case
+}
+
+// NewSort sorts by the given column indexes, ascending.
+func NewSort(in rel.Iterator, keys []int) *Sort {
+	return &Sort{in: in, keys: keys, MemTuples: DefaultSortMemory}
+}
+
+// NewSortDesc sorts with per-key direction control.
+func NewSortDesc(in rel.Iterator, keys []int, descs []bool) *Sort {
+	return &Sort{in: in, keys: keys, descs: descs, MemTuples: DefaultSortMemory}
+}
+
+// Schema returns the input schema.
+func (s *Sort) Schema() types.Schema { return s.in.Schema() }
+
+// Open materializes and sorts the input, spilling if necessary.
+func (s *Sort) Open() error {
+	if s.MemTuples <= 0 {
+		s.MemTuples = DefaultSortMemory
+	}
+	if err := s.in.Open(); err != nil {
+		return err
+	}
+	s.rows = nil
+	s.pos = 0
+	s.merger = nil
+
+	var runs []*os.File
+	buf := make([]types.Tuple, 0, 1024)
+	flushRun := func() error {
+		s.sortBuf(buf)
+		f, err := writeRun(buf)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, f)
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		t, ok, err := s.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, t.Clone())
+		if len(buf) >= s.MemTuples {
+			if err := flushRun(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.in.Close(); err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		// Pure in-memory sort.
+		s.sortBuf(buf)
+		s.rows = buf
+		return nil
+	}
+	if len(buf) > 0 {
+		if err := flushRun(); err != nil {
+			return err
+		}
+	}
+	m, err := newRunMerger(runs, s.keys, s.descs)
+	if err != nil {
+		return err
+	}
+	s.merger = m
+	return nil
+}
+
+func (s *Sort) sortBuf(buf []types.Tuple) {
+	sort.SliceStable(buf, func(i, j int) bool {
+		return types.CompareTuples(buf[i], buf[j], s.keys, s.descs) < 0
+	})
+}
+
+// Next returns tuples in key order.
+func (s *Sort) Next() (types.Tuple, bool, error) {
+	if s.merger != nil {
+		return s.merger.next()
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close releases memory and temporary files.
+func (s *Sort) Close() error {
+	s.rows = nil
+	if s.merger != nil {
+		s.merger.close()
+		s.merger = nil
+	}
+	return nil
+}
+
+// --- run files ---
+
+// writeRun writes a sorted run of tuples to a temp file.
+func writeRun(rows []types.Tuple) (*os.File, error) {
+	f, err := os.CreateTemp("", "tango-sort-*.run")
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 1<<16)
+	for _, t := range rows {
+		buf = types.EncodeTuple(buf, t)
+		if len(buf) >= 1<<16 {
+			if _, err := f.Write(buf); err != nil {
+				f.Close()
+				os.Remove(f.Name())
+				return nil, err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return f, nil
+}
+
+// runReader streams tuples back from a run file.
+type runReader struct {
+	f    *os.File
+	data []byte
+	pos  int
+}
+
+func newRunReader(f *os.File) (*runReader, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, info.Size())
+	if _, err := f.ReadAt(data, 0); err != nil && info.Size() > 0 {
+		return nil, err
+	}
+	return &runReader{f: f, data: data}, nil
+}
+
+func (r *runReader) next() (types.Tuple, bool, error) {
+	if r.pos >= len(r.data) {
+		return nil, false, nil
+	}
+	t, n, err := types.DecodeTuple(r.data[r.pos:])
+	if err != nil {
+		return nil, false, fmt.Errorf("xxl: corrupt sort run: %w", err)
+	}
+	r.pos += n
+	return t, true, nil
+}
+
+func (r *runReader) close() {
+	name := r.f.Name()
+	r.f.Close()
+	os.Remove(name)
+	r.data = nil
+}
+
+// --- k-way merge ---
+
+type mergeItem struct {
+	tuple types.Tuple
+	src   int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	keys  []int
+	descs []bool
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	c := types.CompareTuples(h.items[i].tuple, h.items[j].tuple, h.keys, h.descs)
+	if c != 0 {
+		return c < 0
+	}
+	return h.items[i].src < h.items[j].src // stability across runs
+}
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+type runMerger struct {
+	readers []*runReader
+	h       *mergeHeap
+}
+
+func newRunMerger(files []*os.File, keys []int, descs []bool) (*runMerger, error) {
+	m := &runMerger{h: &mergeHeap{keys: keys, descs: descs}}
+	for _, f := range files {
+		r, err := newRunReader(f)
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		m.readers = append(m.readers, r)
+	}
+	for i, r := range m.readers {
+		t, ok, err := r.next()
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		if ok {
+			m.h.items = append(m.h.items, mergeItem{tuple: t, src: i})
+		}
+	}
+	heap.Init(m.h)
+	return m, nil
+}
+
+func (m *runMerger) next() (types.Tuple, bool, error) {
+	if m.h.Len() == 0 {
+		return nil, false, nil
+	}
+	top := heap.Pop(m.h).(mergeItem)
+	t, ok, err := m.readers[top.src].next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		heap.Push(m.h, mergeItem{tuple: t, src: top.src})
+	}
+	return top.tuple, true, nil
+}
+
+func (m *runMerger) close() {
+	for _, r := range m.readers {
+		if r != nil {
+			r.close()
+		}
+	}
+	m.readers = nil
+}

@@ -1,0 +1,156 @@
+package xxl
+
+import (
+	"fmt"
+
+	"tango/internal/client"
+	"tango/internal/rel"
+	"tango/internal/types"
+)
+
+// TransferM is TRANSFER^M: it issues an SQL SELECT to the DBMS via the
+// connection and streams the result tuples into the middleware. If the
+// SQL references temporary tables produced by TRANSFER^D steps, those
+// steps are listed as dependencies and run during Open, matching the
+// algorithm-sequence (dashed-line) edges of the paper's Figure 5.
+type TransferM struct {
+	conn   *client.Conn
+	sql    string
+	schema types.Schema
+	deps   []*TransferD
+
+	rows *client.Rows
+	fb   client.Feedback
+}
+
+// NewTransferM creates a transfer with the expected output schema (the
+// algebra's schema for the subtree the SQL computes; column names are
+// remapped positionally).
+func NewTransferM(conn *client.Conn, sql string, schema types.Schema, deps ...*TransferD) *TransferM {
+	return &TransferM{conn: conn, sql: sql, schema: schema, deps: deps}
+}
+
+// Schema returns the expected schema.
+func (t *TransferM) Schema() types.Schema { return t.schema }
+
+// SQL returns the statement this transfer issues.
+func (t *TransferM) SQL() string { return t.sql }
+
+// Open runs dependency loads, then opens the server-side cursor.
+func (t *TransferM) Open() error {
+	for _, d := range t.deps {
+		if err := d.Run(); err != nil {
+			return err
+		}
+	}
+	rows, err := t.conn.Query(t.sql)
+	if err != nil {
+		return fmt.Errorf("xxl: transfer^M: %w", err)
+	}
+	if rows.Schema().Len() != t.schema.Len() {
+		rows.Close()
+		return fmt.Errorf("xxl: transfer^M: got %d columns, expected %d (%s)",
+			rows.Schema().Len(), t.schema.Len(), t.sql)
+	}
+	t.rows = rows
+	return nil
+}
+
+// Next streams the next row from the DBMS.
+func (t *TransferM) Next() (types.Tuple, bool, error) {
+	if t.rows == nil {
+		return nil, false, fmt.Errorf("xxl: transfer^M not opened")
+	}
+	row, ok, err := t.rows.Next()
+	if err != nil || !ok {
+		if t.rows != nil {
+			t.fb = t.rows.Feedback()
+		}
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// Close closes the cursor and drops any dependency temp tables.
+func (t *TransferM) Close() error {
+	var first error
+	if t.rows != nil {
+		t.fb = t.rows.Feedback()
+		if err := t.rows.Close(); err != nil {
+			first = err
+		}
+		t.rows = nil
+	}
+	for _, d := range t.deps {
+		if err := d.Cleanup(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Feedback returns transfer statistics after the stream is drained.
+func (t *TransferM) Feedback() client.Feedback { return t.fb }
+
+// TransferD is TRANSFER^D: its Run (the paper's init()) drains a
+// middleware-resident input, creates a uniquely named table in the
+// DBMS, and bulk-loads the tuples through the direct-path loader. The
+// table name is referenced by the SQL of the enclosing TRANSFER^M and
+// must be dropped at the end of the query (§3.2).
+type TransferD struct {
+	conn  *client.Conn
+	in    rel.Iterator
+	table string
+
+	ran bool
+	fb  client.Feedback
+	// UseInserts switches to the conventional per-row INSERT path (for
+	// the bulk-load ablation experiment).
+	UseInserts bool
+}
+
+// NewTransferD creates a transfer into the given temp table name.
+func NewTransferD(conn *client.Conn, in rel.Iterator, table string) *TransferD {
+	return &TransferD{conn: conn, in: in, table: table}
+}
+
+// Table returns the DBMS-side table name.
+func (t *TransferD) Table() string { return t.table }
+
+// Schema returns the input schema.
+func (t *TransferD) Schema() types.Schema { return t.in.Schema() }
+
+// Run executes the transfer once: create table, drain input, load.
+func (t *TransferD) Run() error {
+	if t.ran {
+		return nil
+	}
+	t.ran = true
+	if err := t.conn.CreateTable(t.table, t.in.Schema()); err != nil {
+		return fmt.Errorf("xxl: transfer^D: %w", err)
+	}
+	src, err := rel.Drain(t.in)
+	if err != nil {
+		return fmt.Errorf("xxl: transfer^D: drain: %w", err)
+	}
+	if t.UseInserts {
+		t.fb, err = t.conn.InsertRows(t.table, src.Tuples)
+	} else {
+		t.fb, err = t.conn.Load(t.table, src.Tuples)
+	}
+	if err != nil {
+		return fmt.Errorf("xxl: transfer^D: load: %w", err)
+	}
+	return nil
+}
+
+// Cleanup drops the temp table.
+func (t *TransferD) Cleanup() error {
+	if !t.ran {
+		return nil
+	}
+	return t.conn.DropTable(t.table)
+}
+
+// Feedback returns load statistics after Run.
+func (t *TransferD) Feedback() client.Feedback { return t.fb }

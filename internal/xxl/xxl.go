@@ -1,0 +1,479 @@
+package xxl
+
+import (
+	"fmt"
+
+	"tango/internal/eval"
+	"tango/internal/rel"
+	"tango/internal/sqlast"
+	"tango/internal/types"
+)
+
+// Filter is FILTER^M: predicate selection in the middleware. Order
+// preserving.
+type Filter struct {
+	in   rel.Iterator
+	pred eval.Func
+}
+
+// NewFilter compiles the predicate against the input schema.
+func NewFilter(in rel.Iterator, pred sqlast.Expr) (*Filter, error) {
+	f, err := eval.Compile(pred, in.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{in: in, pred: f}, nil
+}
+
+// Schema returns the input schema.
+func (f *Filter) Schema() types.Schema { return f.in.Schema() }
+
+// Open opens the input.
+func (f *Filter) Open() error { return f.in.Open() }
+
+// Close closes the input.
+func (f *Filter) Close() error { return f.in.Close() }
+
+// Next returns the next tuple satisfying the predicate.
+func (f *Filter) Next() (types.Tuple, bool, error) {
+	for {
+		t, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v, err := f.pred(t)
+		if err != nil {
+			return nil, false, err
+		}
+		if !v.IsNull() && v.AsBool() {
+			return t, true, nil
+		}
+	}
+}
+
+// Project is PROJECT^M: column selection/renaming by position. Order
+// preserving.
+type Project struct {
+	in     rel.Iterator
+	idx    []int
+	schema types.Schema
+}
+
+// NewProject keeps the input columns at the given indexes, renaming
+// them per the output schema.
+func NewProject(in rel.Iterator, idx []int, out types.Schema) *Project {
+	return &Project{in: in, idx: idx, schema: out}
+}
+
+// Schema returns the output schema.
+func (p *Project) Schema() types.Schema { return p.schema }
+
+// Open opens the input.
+func (p *Project) Open() error { return p.in.Open() }
+
+// Close closes the input.
+func (p *Project) Close() error { return p.in.Close() }
+
+// Next projects the next tuple.
+func (p *Project) Next() (types.Tuple, bool, error) {
+	t, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(types.Tuple, len(p.idx))
+	for i, j := range p.idx {
+		out[i] = t[j]
+	}
+	return out, true, nil
+}
+
+// MergeJoin is JOIN^M: a sort-merge equi-join. Both inputs must be
+// sorted on their join columns. Output order follows the left input
+// (order preserving in the paper's sense).
+type MergeJoin struct {
+	left, right  rel.Iterator
+	lkeys, rkeys []int
+	schema       types.Schema
+
+	lcur   types.Tuple
+	lkey   types.Tuple
+	run    []types.Tuple // right tuples matching lkey
+	ri     int
+	rnext  types.Tuple // lookahead on right
+	rdone  bool
+	ldone  bool
+	opened bool
+}
+
+// NewMergeJoin joins sorted inputs on pairwise key columns.
+func NewMergeJoin(left, right rel.Iterator, lkeys, rkeys []int) *MergeJoin {
+	return &MergeJoin{
+		left: left, right: right, lkeys: lkeys, rkeys: rkeys,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema returns the concatenated schema.
+func (j *MergeJoin) Schema() types.Schema { return j.schema }
+
+// Open opens both inputs.
+func (j *MergeJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.lcur, j.lkey, j.run, j.ri = nil, nil, nil, 0
+	j.rnext, j.rdone, j.ldone = nil, false, false
+	j.opened = true
+	if err := j.advanceRight(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (j *MergeJoin) advanceRight() error {
+	t, ok, err := j.right.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		j.rnext = nil
+		j.rdone = true
+		return nil
+	}
+	// Validate the sorted-input contract: silently accepting unsorted
+	// input would drop join matches.
+	if j.rnext != nil {
+		if types.CompareTuples(keyTuple(j.rnext, j.rkeys), keyTuple(t, j.rkeys), seqIdx(len(j.rkeys)), nil) > 0 {
+			return fmt.Errorf("xxl: merge join right input not sorted on join keys")
+		}
+	}
+	j.rnext = t.Clone()
+	return nil
+}
+
+func keyTuple(t types.Tuple, keys []int) types.Tuple {
+	k := make(types.Tuple, len(keys))
+	for i, idx := range keys {
+		k[i] = t[idx]
+	}
+	return k
+}
+
+func seqIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func (j *MergeJoin) keyOf(t types.Tuple, keys []int) types.Tuple {
+	k := make(types.Tuple, len(keys))
+	for i, idx := range keys {
+		k[i] = t[idx]
+	}
+	return k
+}
+
+func cmpKeys(a, b types.Tuple) int {
+	idx := make([]int, len(a))
+	for i := range idx {
+		idx[i] = i
+	}
+	return types.CompareTuples(a, b, idx, nil)
+}
+
+// Next produces the next joined tuple.
+func (j *MergeJoin) Next() (types.Tuple, bool, error) {
+	if !j.opened {
+		return nil, false, fmt.Errorf("xxl: merge join not opened")
+	}
+	for {
+		// Emit pairs from the current run.
+		if j.lcur != nil && j.ri < len(j.run) {
+			r := j.run[j.ri]
+			j.ri++
+			out := make(types.Tuple, 0, len(j.lcur)+len(r))
+			out = append(out, j.lcur...)
+			out = append(out, r...)
+			return out, true, nil
+		}
+		// Advance left.
+		t, ok, err := j.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		j.lcur = t.Clone()
+		k := j.keyOf(j.lcur, j.lkeys)
+		if j.lkey != nil {
+			switch cmpKeys(k, j.lkey) {
+			case 0:
+				j.ri = 0 // same key: reuse the run
+				continue
+			case -1:
+				return nil, false, fmt.Errorf("xxl: merge join left input not sorted on join keys")
+			}
+		}
+		j.lkey = k
+		// Advance right until its key >= k, collecting the matching run.
+		j.run = j.run[:0]
+		j.ri = 0
+		for !j.rdone {
+			rk := j.keyOf(j.rnext, j.rkeys)
+			c := cmpKeys(rk, k)
+			if c < 0 {
+				if err := j.advanceRight(); err != nil {
+					return nil, false, err
+				}
+				continue
+			}
+			if c > 0 {
+				break
+			}
+			j.run = append(j.run, j.rnext)
+			if err := j.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+}
+
+// Close closes both inputs.
+func (j *MergeJoin) Close() error {
+	err1 := j.left.Close()
+	err2 := j.right.Close()
+	j.run = nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// TJoin is TJOIN^M: a temporal sort-merge join. Inputs sorted on their
+// equi-join columns; within each matching group, pairs with
+// overlapping [T1, T2) periods are emitted with the intersected
+// period. The output schema is the left schema (T1/T2 now the
+// intersection) plus the right schema minus its time columns.
+type TJoin struct {
+	mj         *MergeJoin
+	lt1, lt2   int
+	rt1, rt2   int // offsets within the right tuple
+	rightWidth int
+	schema     types.Schema
+}
+
+// NewTJoin builds a temporal join over inputs sorted by their equi
+// columns. lt1/lt2 index the left input's period; rt1/rt2 the right's.
+func NewTJoin(left, right rel.Iterator, lkeys, rkeys []int, lt1, lt2, rt1, rt2 int) *TJoin {
+	rs := right.Schema()
+	cols := append([]types.Column{}, left.Schema().Cols...)
+	for i, c := range rs.Cols {
+		if i == rt1 || i == rt2 {
+			continue
+		}
+		cols = append(cols, c)
+	}
+	return &TJoin{
+		mj:  NewMergeJoin(left, right, lkeys, rkeys),
+		lt1: lt1, lt2: lt2, rt1: rt1, rt2: rt2,
+		rightWidth: rs.Len(),
+		schema:     types.Schema{Cols: cols},
+	}
+}
+
+// Schema returns the temporal-join output schema.
+func (j *TJoin) Schema() types.Schema { return j.schema }
+
+// Open opens the underlying merge join.
+func (j *TJoin) Open() error { return j.mj.Open() }
+
+// Close closes the underlying merge join.
+func (j *TJoin) Close() error { return j.mj.Close() }
+
+// Next returns the next overlapping pair with its intersected period.
+func (j *TJoin) Next() (types.Tuple, bool, error) {
+	leftWidth := j.mj.left.Schema().Len()
+	for {
+		t, ok, err := j.mj.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		lp := types.Period{Start: t[j.lt1].AsInt(), End: t[j.lt2].AsInt()}
+		rp := types.Period{Start: t[leftWidth+j.rt1].AsInt(), End: t[leftWidth+j.rt2].AsInt()}
+		inter, ok2 := lp.Intersect(rp)
+		if !ok2 {
+			continue
+		}
+		out := make(types.Tuple, 0, j.schema.Len())
+		for i := 0; i < leftWidth; i++ {
+			switch i {
+			case j.lt1:
+				out = append(out, coerceTime(t[j.lt1], inter.Start))
+			case j.lt2:
+				out = append(out, coerceTime(t[j.lt2], inter.End))
+			default:
+				out = append(out, t[i])
+			}
+		}
+		for i := 0; i < j.rightWidth; i++ {
+			if i == j.rt1 || i == j.rt2 {
+				continue
+			}
+			out = append(out, t[leftWidth+i])
+		}
+		return out, true, nil
+	}
+}
+
+// coerceTime builds a time value of the same kind as the sample.
+func coerceTime(sample types.Value, day int64) types.Value {
+	if sample.Kind() == types.KindDate {
+		return types.Date(day)
+	}
+	return types.Int(day)
+}
+
+// DupElim is DUPELIM^M: hash-based duplicate elimination, keeping the
+// first occurrence (order preserving).
+type DupElim struct {
+	in   rel.Iterator
+	seen map[string]bool
+}
+
+// NewDupElim removes duplicate tuples.
+func NewDupElim(in rel.Iterator) *DupElim { return &DupElim{in: in} }
+
+// Schema returns the input schema.
+func (d *DupElim) Schema() types.Schema { return d.in.Schema() }
+
+// Open opens the input and resets state.
+func (d *DupElim) Open() error {
+	d.seen = map[string]bool{}
+	return d.in.Open()
+}
+
+// Close closes the input.
+func (d *DupElim) Close() error {
+	d.seen = nil
+	return d.in.Close()
+}
+
+// Next returns the next first-occurrence tuple.
+func (d *DupElim) Next() (types.Tuple, bool, error) {
+	for {
+		t, ok, err := d.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := canonKey(t)
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return t.Clone(), true, nil
+	}
+}
+
+// Coalesce is COALESCE^M: merges value-equivalent tuples whose periods
+// overlap or meet. The input must be sorted on all non-time columns
+// and then T1.
+type Coalesce struct {
+	in      rel.Iterator
+	t1, t2  int
+	pending types.Tuple
+	done    bool
+}
+
+// NewCoalesce coalesces periods at columns t1/t2 of a sorted input.
+func NewCoalesce(in rel.Iterator, t1, t2 int) *Coalesce {
+	return &Coalesce{in: in, t1: t1, t2: t2}
+}
+
+// Schema returns the input schema.
+func (c *Coalesce) Schema() types.Schema { return c.in.Schema() }
+
+// Open opens the input.
+func (c *Coalesce) Open() error {
+	c.pending = nil
+	c.done = false
+	return c.in.Open()
+}
+
+// Close closes the input.
+func (c *Coalesce) Close() error { return c.in.Close() }
+
+// valueEquivalent compares all non-time columns.
+func (c *Coalesce) valueEquivalent(a, b types.Tuple) bool {
+	for i := range a {
+		if i == c.t1 || i == c.t2 {
+			continue
+		}
+		if !types.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Next returns the next maximal coalesced tuple.
+func (c *Coalesce) Next() (types.Tuple, bool, error) {
+	if c.done {
+		return nil, false, nil
+	}
+	for {
+		t, ok, err := c.in.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			c.done = true
+			if c.pending != nil {
+				out := c.pending
+				c.pending = nil
+				return out, true, nil
+			}
+			return nil, false, nil
+		}
+		if c.pending == nil {
+			c.pending = t.Clone()
+			continue
+		}
+		p := types.Period{Start: c.pending[c.t1].AsInt(), End: c.pending[c.t2].AsInt()}
+		q := types.Period{Start: t[c.t1].AsInt(), End: t[c.t2].AsInt()}
+		if c.valueEquivalent(c.pending, t) && q.Start <= p.End {
+			// Extend the pending period.
+			m := p.Merge(q)
+			c.pending[c.t1] = coerceTime(c.pending[c.t1], m.Start)
+			c.pending[c.t2] = coerceTime(c.pending[c.t2], m.End)
+			continue
+		}
+		out := c.pending
+		c.pending = t.Clone()
+		return out, true, nil
+	}
+}
+
+// canonKey renders a tuple so equal tuples produce equal keys.
+func canonKey(t types.Tuple) string {
+	buf := make([]byte, 0, 32)
+	for _, v := range t {
+		switch {
+		case v.IsNull():
+			buf = append(buf, 0, 'N')
+		case v.Kind() == types.KindString:
+			buf = append(buf, 's', ':')
+			buf = append(buf, v.AsString()...)
+		default:
+			buf = append(buf, 'n', ':')
+			buf = append(buf, fmt.Sprintf("%v", v.AsFloat())...)
+		}
+		buf = append(buf, 0x1f)
+	}
+	return string(buf)
+}
