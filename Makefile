@@ -1,0 +1,26 @@
+# TANGO temporal middleware — build / verify targets.
+
+GO ?= go
+
+.PHONY: all build vet test race ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the full verification gate: compile everything, vet, and run
+# the test suite under the race detector.
+ci: build vet race
+
+clean:
+	$(GO) clean ./...

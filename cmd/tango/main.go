@@ -6,6 +6,7 @@
 //
 //	tango> VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID ORDER BY PosID
 //	tango> EXPLAIN VALIDTIME SELECT ...
+//	tango> EXPLAIN ANALYZE VALIDTIME SELECT ...
 //	tango> SELECT COUNT(*) FROM POSITION
 package main
 
@@ -19,6 +20,7 @@ import (
 
 	"tango/internal/bench"
 	"tango/internal/rel"
+	"tango/internal/telemetry"
 	"tango/internal/tsql"
 )
 
@@ -27,21 +29,35 @@ func main() {
 	empRows := flag.Int("employee", 5000, "EMPLOYEE rows to generate (0 = paper full size)")
 	calibrate := flag.Int("calibrate", 0, "calibration sample rows (0 = default cost factors)")
 	command := flag.String("c", "", "run one statement and exit (scriptable mode)")
+	metricsAddr := flag.String("metrics", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. "127.0.0.1:9090")`)
 	flag.Parse()
 
 	quiet := *command != ""
 	if !quiet {
 		fmt.Println("TANGO temporal middleware — loading UIS data...")
 	}
+	reg := telemetry.NewRegistry()
 	sys, err := bench.NewSystem(bench.Config{
 		PositionRows: *posRows,
 		EmployeeRows: *empRows,
 		Histograms:   20,
 		Calibrate:    *calibrate,
+		Metrics:      reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "boot:", err)
 		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		addr, stop, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		if !quiet {
+			fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+		}
 	}
 	if *command != "" {
 		if err := dispatch(sys, strings.TrimSpace(*command)); err != nil {
@@ -51,7 +67,9 @@ func main() {
 		return
 	}
 	fmt.Printf("loaded POSITION (%d rows), EMPLOYEE (%d rows)\n", sys.PositionRows, sys.EmployeeRows)
-	fmt.Println(`type temporal SQL ("VALIDTIME SELECT ..."), regular SQL, EXPLAIN <query>, \tables, \stats <table>, \factors, or \q`)
+	fmt.Println(`type temporal SQL ("VALIDTIME SELECT ..."), regular SQL, EXPLAIN <query>,`)
+	fmt.Println(`EXPLAIN ANALYZE <query> (measured span + operator profile), \tables,`)
+	fmt.Println(`\stats <table>, \factors, \trace (last query's spans), \metrics, or \q`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -123,6 +141,30 @@ func dispatch(sys *bench.System, line string) error {
 			f.TAggrM1, f.TAggrM2, f.TAggrD1, f.TAggrD2)
 		fmt.Printf("sortM=%.5f sortD=%.5f joinM=%.5f joinD=%.5f scanD=%.5f\n",
 			f.SortM, f.SortD, f.JoinM, f.JoinD, f.ScanD)
+		return nil
+
+	case line == `\trace`:
+		tr := sys.MW.LastTrace()
+		if tr == nil {
+			return fmt.Errorf("no traced query yet")
+		}
+		fmt.Print(tr.Render())
+		return nil
+
+	case line == `\metrics`:
+		return sys.Metrics.WritePrometheus(os.Stdout)
+
+	case strings.HasPrefix(upper, "EXPLAIN ANALYZE "):
+		query := strings.TrimSpace(line[len("EXPLAIN ANALYZE "):])
+		plan, err := tsql.Parse(query, sys.MW.Cat)
+		if err != nil {
+			return err
+		}
+		report, _, err := sys.MW.ExplainAnalyze(plan)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
 		return nil
 
 	case strings.HasPrefix(upper, "EXPLAIN "):

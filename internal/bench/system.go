@@ -14,7 +14,9 @@ import (
 	"tango/internal/engine"
 	"tango/internal/rel"
 	"tango/internal/server"
+	"tango/internal/storage"
 	"tango/internal/tango"
+	"tango/internal/telemetry"
 	"tango/internal/uis"
 	"tango/internal/wire"
 )
@@ -24,6 +26,9 @@ type System struct {
 	DB  *engine.DB
 	Srv *server.Server
 	MW  *tango.Middleware
+	// Metrics is the registry wired through every layer (nil when
+	// Config.Metrics was nil).
+	Metrics *telemetry.Registry
 
 	PositionRows int
 	EmployeeRows int
@@ -44,6 +49,12 @@ type Config struct {
 	// Calibrate runs cost-factor calibration (with the given sample
 	// rows) after loading.
 	Calibrate int
+	// Metrics, when set, is wired through every layer: engine operator
+	// series and storage gauges, server traffic counters, client wire
+	// counters, and middleware operator/optimizer/Q-error series. The
+	// middleware's IOProbe is pointed at the embedded engine so query
+	// traces carry per-query I/O deltas.
+	Metrics *telemetry.Registry
 }
 
 // NewSystem builds, loads, and (optionally) calibrates a system.
@@ -53,7 +64,14 @@ func NewSystem(cfg Config) (*System, error) {
 	mw := tango.Open(srv, tango.Options{
 		HistogramBuckets: cfg.Histograms,
 		Naive:            cfg.Naive,
+		Metrics:          cfg.Metrics,
 	})
+	if cfg.Metrics != nil {
+		srv.RegisterMetrics(cfg.Metrics)
+		mw.IOProbe = func() (storage.IOStats, storage.PoolStats) {
+			return db.Disk().Snapshot(), db.Pool().Snapshot()
+		}
+	}
 	hb := cfg.Histograms
 	if _, err := uis.Load(mw.Conn, cfg.PositionRows, cfg.EmployeeRows, hb); err != nil {
 		return nil, err
@@ -71,7 +89,8 @@ func NewSystem(cfg Config) (*System, error) {
 	if empRows <= 0 {
 		empRows = uis.EmployeeRows
 	}
-	return &System{DB: db, Srv: srv, MW: mw, PositionRows: posRows, EmployeeRows: empRows}, nil
+	return &System{DB: db, Srv: srv, MW: mw, Metrics: cfg.Metrics,
+		PositionRows: posRows, EmployeeRows: empRows}, nil
 }
 
 // NamedPlan is one of the plan alternatives of §5.2.

@@ -8,11 +8,13 @@ package client
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tango/internal/meta"
 	"tango/internal/rel"
 	"tango/internal/server"
+	"tango/internal/telemetry"
 	"tango/internal/types"
 	"tango/internal/wire"
 )
@@ -23,6 +25,25 @@ type Conn struct {
 	// Prefetch is the rows-per-fetch setting (the paper's Oracle
 	// row-prefetch); 0 uses the wire default.
 	Prefetch int
+	// Metrics, when set, receives wire-level series: serialized bytes
+	// by direction (tango_wire_bytes_total{dir="in"|"out"}), row
+	// counts, statement counters, and per-transfer timing histograms.
+	Metrics *telemetry.Registry
+}
+
+// record feeds one completed transfer into the wire metrics. dir is
+// "in" (DBMS → middleware) or "out" (middleware → DBMS).
+func (c *Conn) record(dir, kind string, fb Feedback) {
+	reg := c.Metrics
+	if reg == nil {
+		return
+	}
+	l := telemetry.Labels{"dir": dir}
+	reg.Counter("tango_wire_bytes_total", l).Add(fb.Bytes)
+	reg.Counter("tango_wire_rows_total", l).Add(fb.Rows)
+	kl := telemetry.Labels{"kind": kind}
+	reg.Counter("tango_client_statements_total", kl).Inc()
+	reg.Histogram("tango_transfer_seconds", kl, telemetry.DurationBuckets).Observe(fb.Elapsed.Seconds())
 }
 
 // Connect opens a connection to a server.
@@ -53,11 +74,12 @@ func (c *Conn) Query(sql string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{cur: cur, schema: cur.Schema().Unqualified(), start: start, sql: sql}, nil
+	return &Rows{conn: c, cur: cur, schema: cur.Schema().Unqualified(), start: start, sql: sql}, nil
 }
 
 // Rows iterates a query result fetched in batches over the wire.
 type Rows struct {
+	conn   *Conn
 	cur    *server.Cursor
 	schema types.Schema
 	sql    string
@@ -121,6 +143,9 @@ func (r *Rows) Close() error {
 func (r *Rows) finish() {
 	r.fb.Elapsed = time.Since(r.start)
 	r.fb.SQL = r.sql
+	if r.conn != nil {
+		r.conn.record("in", "query", r.fb)
+	}
 }
 
 // Feedback returns transfer statistics; valid after the rows are
@@ -169,12 +194,14 @@ func (c *Conn) Load(table string, rows []types.Tuple) (Feedback, error) {
 	if err != nil {
 		return Feedback{}, err
 	}
-	return Feedback{
+	fb := Feedback{
 		SQL:     "LOAD " + table,
 		Rows:    n,
 		Bytes:   int64(len(payload)),
 		Elapsed: time.Since(start),
-	}, nil
+	}
+	c.record("out", "load", fb)
+	return fb, nil
 }
 
 // InsertRows loads rows with per-row INSERTs (the slow conventional
@@ -186,12 +213,14 @@ func (c *Conn) InsertRows(table string, rows []types.Tuple) (Feedback, error) {
 	if err != nil {
 		return Feedback{}, err
 	}
-	return Feedback{
+	fb := Feedback{
 		SQL:     "INSERT " + table,
 		Rows:    n,
 		Bytes:   int64(len(payload)),
 		Elapsed: time.Since(start),
-	}, nil
+	}
+	c.record("out", "insert", fb)
+	return fb, nil
 }
 
 // DropTable drops a table, ignoring missing tables (used to clean up
@@ -211,11 +240,12 @@ func (c *Conn) TableSchema(table string) (types.Schema, error) {
 	return c.srv.TableSchema(table)
 }
 
+// tempCounter numbers transfer temp tables; atomic so concurrent
+// connections never hand out the same name.
+var tempCounter atomic.Int64
+
 // TempName generates a unique temporary table name; the caller must
 // drop it when the query completes (as §3.2 of the paper requires).
-var tempCounter int64
-
 func (c *Conn) TempName() string {
-	tempCounter++
-	return fmt.Sprintf("TMP_TANGO_%d", tempCounter)
+	return fmt.Sprintf("TMP_TANGO_%d", tempCounter.Add(1))
 }

@@ -1,0 +1,116 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"tango/internal/algebra"
+)
+
+func taggrObs(micros float64) ObservedOp {
+	return ObservedOp{
+		Op: algebra.OpTAggr, Loc: algebra.LocMW,
+		InBytes: 100000, OutBytes: 150000,
+		InCard: 2000, OutCard: 3000,
+		Micros: micros,
+	}
+}
+
+// TestAdaptOpMovesTowardObservation: a measurement slower than the
+// prediction must raise the factors; a faster one must lower them, and
+// repeated feedback must converge monotonically.
+func TestAdaptOpMovesTowardObservation(t *testing.T) {
+	f := DefaultFactors()
+	pred := f.SortM*100000*log2(2000) + f.TAggrM1*100000 + f.TAggrM2*150000
+
+	slow := f
+	if !slow.AdaptOp(taggrObs(pred*4), 0.5) {
+		t.Fatal("AdaptOp reported no update")
+	}
+	if slow.TAggrM1 <= f.TAggrM1 || slow.TAggrM2 <= f.TAggrM2 {
+		t.Errorf("slow run must raise TAggr factors: %+v vs %+v", slow, f)
+	}
+
+	fast := f
+	fast.AdaptOp(taggrObs(pred/4), 0.5)
+	if fast.TAggrM1 >= f.TAggrM1 || fast.TAggrM2 >= f.TAggrM2 {
+		t.Errorf("fast run must lower TAggr factors")
+	}
+
+	// Other factors stay put.
+	if slow.JoinM != f.JoinM || slow.TM != f.TM || slow.SortM != f.SortM {
+		t.Errorf("unrelated factors changed: %+v", slow)
+	}
+}
+
+func TestAdaptOpTJoin(t *testing.T) {
+	f := DefaultFactors()
+	obs := ObservedOp{
+		Op: algebra.OpTJoin, Loc: algebra.LocMW,
+		InBytes: 200000, OutBytes: 50000,
+		InCard: 4000, OutCard: 800,
+	}
+	pred := f.JoinM * (obs.InBytes + obs.OutBytes)
+	obs.Micros = pred * 2
+	if !f.AdaptOp(obs, 0.5) {
+		t.Fatal("no update for TJoin")
+	}
+	want := DefaultFactors().JoinM * (1 + 0.5*(2-1))
+	if math.Abs(f.JoinM-want) > 1e-12 {
+		t.Errorf("JoinM = %g, want %g", f.JoinM, want)
+	}
+}
+
+// TestAdaptOpClampsRatio: a wildly off measurement must not move a
+// factor by more than the 10× / 0.1× clamp allows in one step.
+func TestAdaptOpClampsRatio(t *testing.T) {
+	f := DefaultFactors()
+	obs := ObservedOp{Op: algebra.OpSort, Loc: algebra.LocMW, InBytes: 1000, InCard: 100}
+	obs.Micros = f.SortM * 1000 * log2(100) * 1e6 // absurdly slow
+	f.AdaptOp(obs, 1)
+	if max := DefaultFactors().SortM * 10; f.SortM > max+1e-12 {
+		t.Errorf("SortM = %g exceeds clamp %g", f.SortM, max)
+	}
+}
+
+// TestAdaptOpSkips: transfers, DBMS-resident operators, and degenerate
+// measurements must not change anything.
+func TestAdaptOpSkips(t *testing.T) {
+	base := DefaultFactors()
+	cases := []ObservedOp{
+		{Op: algebra.OpTM, Loc: algebra.LocMW, InBytes: 1000, Micros: 500},   // transfer: Adapt's job
+		{Op: algebra.OpTD, Loc: algebra.LocMW, InBytes: 1000, Micros: 500},   // transfer: Adapt's job
+		{Op: algebra.OpSort, Loc: algebra.LocDBMS, InBytes: 1000, Micros: 5}, // DBMS op
+		{Op: algebra.OpSort, Loc: algebra.LocMW, InBytes: 1000, Micros: 0},   // no measurement
+		{Op: algebra.OpSelect, Loc: algebra.LocMW, InBytes: 0, Micros: 5},    // no volume
+		{Op: algebra.OpScan, Loc: algebra.LocDBMS, InBytes: 1000, Micros: 5}, // not a MW algorithm
+	}
+	for i, obs := range cases {
+		f := base
+		if f.AdaptOp(obs, 0.5) {
+			t.Errorf("case %d: AdaptOp reported an update", i)
+		}
+		if f != base {
+			t.Errorf("case %d: factors changed: %+v", i, f)
+		}
+	}
+}
+
+// TestAdaptOpSelectUsesPredTerms: the selection update must weigh the
+// prediction by f(P), matching the cost formula.
+func TestAdaptOpSelectUsesPredTerms(t *testing.T) {
+	oneTerm := DefaultFactors()
+	threeTerms := DefaultFactors()
+	obs := ObservedOp{Op: algebra.OpSelect, Loc: algebra.LocMW, InBytes: 10000}
+	obs.Micros = DefaultFactors().SelM * 10000 * 3 // exactly 3-term predicted cost
+	obs.PredTerms = 1
+	oneTerm.AdaptOp(obs, 0.5) // looks 3× slow → raises factor
+	obs.PredTerms = 3
+	threeTerms.AdaptOp(obs, 0.5) // exact match → unchanged
+	if oneTerm.SelM <= threeTerms.SelM {
+		t.Errorf("PredTerms not honored: 1-term %g vs 3-term %g", oneTerm.SelM, threeTerms.SelM)
+	}
+	if math.Abs(threeTerms.SelM-DefaultFactors().SelM) > 1e-12 {
+		t.Errorf("exact prediction must not move SelM: %g", threeTerms.SelM)
+	}
+}

@@ -11,10 +11,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tango/internal/btree"
 	"tango/internal/meta"
 	"tango/internal/storage"
+	"tango/internal/telemetry"
 	"tango/internal/types"
 )
 
@@ -25,6 +27,8 @@ import (
 type DB struct {
 	disk *storage.Disk
 	pool *storage.BufferPool
+
+	metrics atomic.Pointer[telemetry.Registry]
 
 	mu     sync.RWMutex
 	tables map[string]*Table // keyed by upper-case name
@@ -61,6 +65,39 @@ func Open(cfg Config) *DB {
 
 // Disk exposes the underlying disk for I/O accounting in experiments.
 func (db *DB) Disk() *storage.Disk { return db.disk }
+
+// Pool exposes the buffer pool for hit-ratio accounting.
+func (db *DB) Pool() *storage.BufferPool { return db.pool }
+
+// SetMetrics attaches a telemetry registry: every physical operator of
+// subsequent queries is instrumented (per-operator timing, row, and
+// Next-call series under engine="dbms"), and the storage counters are
+// exported as gauges (disk reads/writes, buffer-pool hits/misses/hit
+// ratio). A nil registry disables instrumentation.
+func (db *DB) SetMetrics(reg *telemetry.Registry) {
+	db.metrics.Store(reg)
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("tango_disk_reads", nil, func() float64 {
+		return float64(db.disk.Snapshot().Reads)
+	})
+	reg.GaugeFunc("tango_disk_writes", nil, func() float64 {
+		return float64(db.disk.Snapshot().Writes)
+	})
+	reg.GaugeFunc("tango_bufferpool_hits", nil, func() float64 {
+		return float64(db.pool.Snapshot().Hits)
+	})
+	reg.GaugeFunc("tango_bufferpool_misses", nil, func() float64 {
+		return float64(db.pool.Snapshot().Misses)
+	})
+	reg.GaugeFunc("tango_bufferpool_hit_ratio", nil, func() float64 {
+		return db.pool.Snapshot().HitRatio()
+	})
+}
+
+// Metrics returns the attached registry (nil when disabled).
+func (db *DB) Metrics() *telemetry.Registry { return db.metrics.Load() }
 
 func key(name string) string { return strings.ToUpper(name) }
 

@@ -6,8 +6,33 @@ import (
 
 	"tango/internal/rel"
 	"tango/internal/sqlast"
+	"tango/internal/telemetry"
 	"tango/internal/types"
 )
+
+// instrument wraps a physical operator with telemetry when a metrics
+// registry is attached (see DB.SetMetrics); inputs that are themselves
+// instrumented become children in the stats tree. Without a registry
+// the iterator is returned untouched, so the hot path pays nothing.
+func (db *DB) instrument(op string, it rel.Iterator, inputs ...rel.Iterator) rel.Iterator {
+	reg := db.metrics.Load()
+	if reg == nil {
+		return it
+	}
+	w := telemetry.Instrument(op, nil, it, inputs...)
+	w.Sink = telemetry.SinkTo(reg, "dbms")
+	return w
+}
+
+// asHeapScan sees through instrumentation wrappers to the concrete
+// heap scan (used by index-scan and index-nested-loop rewrites).
+func asHeapScan(it rel.Iterator) (*heapScan, bool) {
+	if w, ok := it.(interface{ Unwrap() rel.Iterator }); ok {
+		it = w.Unwrap()
+	}
+	hs, ok := it.(*heapScan)
+	return hs, ok
+}
 
 // planSelect builds an iterator tree for a SELECT statement, including
 // any UNION chain and the trailing ORDER BY.
@@ -30,11 +55,11 @@ func (db *DB) planSelect(s *sqlast.SelectStmt) (rel.Iterator, error) {
 			return nil, fmt.Errorf("engine: UNION arity mismatch: %d vs %d",
 				it.Schema().Len(), right.Schema().Len())
 		}
-		u := newUnionAll(it, right)
+		u := db.instrument("union", newUnionAll(it, right), it, right)
 		if s.UnionAll {
 			it = u
 		} else {
-			it = newDistinct(u)
+			it = db.instrument("distinct", newDistinct(u), u)
 		}
 	}
 	// ORDER BY applies to the whole result.
@@ -43,10 +68,10 @@ func (db *DB) planSelect(s *sqlast.SelectStmt) (rel.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		it = sorted
+		it = db.instrument("sort", sorted, it)
 	}
 	if s.Limit > 0 {
-		it = &limitIter{in: it, n: s.Limit}
+		it = db.instrument("limit", &limitIter{in: it, n: s.Limit}, it)
 	}
 	return it, nil
 }
@@ -173,7 +198,7 @@ func (db *DB) planCore(s *sqlast.SelectStmt) (rel.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		it = newFilter(it, pred)
+		it = db.instrument("filter", newFilter(it, pred), it)
 	}
 
 	// 5. Aggregation.
@@ -190,14 +215,14 @@ func (db *DB) planCore(s *sqlast.SelectStmt) (rel.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		it = grouped
+		it = db.instrument("group", grouped, it)
 		// HAVING.
 		if s.Having != nil {
 			pred, err := gCtx.compile(s.Having)
 			if err != nil {
 				return nil, err
 			}
-			it = newFilter(it, pred)
+			it = db.instrument("filter", newFilter(it, pred), it)
 		}
 		outSchema, itemExprs, err = gCtx.projectItems(s.Items)
 		if err != nil {
@@ -209,11 +234,11 @@ func (db *DB) planCore(s *sqlast.SelectStmt) (rel.Iterator, error) {
 			return nil, err
 		}
 	}
-	it = newProject(it, outSchema, itemExprs)
+	it = db.instrument("project", newProject(it, outSchema, itemExprs), it)
 
 	// 6. DISTINCT.
 	if s.Distinct {
-		it = newDistinct(it)
+		it = db.instrument("distinct", newDistinct(it), it)
 	}
 	return it, nil
 }
@@ -237,13 +262,14 @@ func (db *DB) planSources(s *sqlast.SelectStmt) ([]rel.Iterator, error) {
 			if q == "" {
 				q = r.Name
 			}
-			sources[i] = newHeapScan(t, q)
+			sources[i] = db.instrument("scan("+t.Name+")", newHeapScan(t, q))
 		case sqlast.Derived:
 			sub, err := db.planSelect(r.Select)
 			if err != nil {
 				return nil, err
 			}
-			sources[i] = &renameIter{in: sub, schema: sub.Schema().Unqualified().Qualify(r.Alias)}
+			rn := &renameIter{in: sub, schema: sub.Schema().Unqualified().Qualify(r.Alias)}
+			sources[i] = db.instrument("derived("+r.Alias+")", rn, sub)
 		default:
 			return nil, fmt.Errorf("engine: unsupported FROM entry %T", ref)
 		}
@@ -269,10 +295,10 @@ func resolvesElsewhere(e sqlast.Expr, sources []rel.Iterator, self int) bool {
 // scan when the source is a plain table scan and a predicate compares
 // an indexed column with a literal.
 func (db *DB) applySelection(src rel.Iterator, preds []sqlast.Expr) (rel.Iterator, error) {
-	if hs, ok := src.(*heapScan); ok {
+	if hs, ok := asHeapScan(src); ok {
 		if it, rest, ok2 := tryIndexScan(hs, preds); ok2 {
 			preds = rest
-			src = it
+			src = db.instrument("indexscan("+hs.table.Name+")", it)
 		}
 	}
 	if len(preds) == 0 {
@@ -282,7 +308,7 @@ func (db *DB) applySelection(src rel.Iterator, preds []sqlast.Expr) (rel.Iterato
 	if err != nil {
 		return nil, err
 	}
-	return newFilter(src, pred), nil
+	return db.instrument("filter", newFilter(src, pred), src), nil
 }
 
 // tryIndexScan converts one "col op literal" predicate on an indexed
@@ -413,7 +439,7 @@ func (db *DB) join(hint sqlast.JoinHint, left, right rel.Iterator, conjuncts []s
 	case sqlast.HintNestedLoop:
 		// Index nested loop when the inner (right) side is a base-table
 		// scan with an index on an equi-join column.
-		if hs, ok := right.(*heapScan); ok {
+		if hs, ok := asHeapScan(right); ok {
 			for ei, e := range equis {
 				cr, okCR := e.r.(sqlast.ColumnRef)
 				if !okCR || hs.table.Index(cr.Name) == nil {
@@ -437,7 +463,8 @@ func (db *DB) join(hint sqlast.JoinHint, left, right rel.Iterator, conjuncts []s
 				}
 				markUsed(equiIdx, residualIdx)
 				q := strings.SplitN(hs.schema.Cols[0].Name, ".", 2)[0]
-				return newIndexNLJoin(left, hs.table, q, cr.Name, outerKey, residual), nil
+				inl := newIndexNLJoin(left, hs.table, q, cr.Name, outerKey, residual)
+				return db.instrument("indexnljoin", inl, left), nil
 			}
 		}
 		residual, err := compileResidual(applicable)
@@ -445,7 +472,7 @@ func (db *DB) join(hint sqlast.JoinHint, left, right rel.Iterator, conjuncts []s
 			return nil, err
 		}
 		markUsed(applicable)
-		return newNLJoin(left, right, residual), nil
+		return db.instrument("nljoin", newNLJoin(left, right, residual), left, right), nil
 
 	case sqlast.HintMerge:
 		if len(equis) > 0 {
@@ -465,7 +492,8 @@ func (db *DB) join(hint sqlast.JoinHint, left, right rel.Iterator, conjuncts []s
 				return nil, err
 			}
 			markUsed(equiIdx, residualIdx)
-			return newMergeJoin(left, right, lk, rk, residual), nil
+			mj := newMergeJoin(left, right, lk, rk, residual)
+			return db.instrument("mergejoin", mj, left, right), nil
 		}
 		// No equi predicate: fall back to nested loop.
 		residual, err := compileResidual(applicable)
@@ -473,7 +501,7 @@ func (db *DB) join(hint sqlast.JoinHint, left, right rel.Iterator, conjuncts []s
 			return nil, err
 		}
 		markUsed(applicable)
-		return newNLJoin(left, right, residual), nil
+		return db.instrument("nljoin", newNLJoin(left, right, residual), left, right), nil
 
 	default: // HintHash or no hint
 		if len(equis) > 0 {
@@ -495,14 +523,15 @@ func (db *DB) join(hint sqlast.JoinHint, left, right rel.Iterator, conjuncts []s
 				return nil, err
 			}
 			markUsed(equiIdx, residualIdx)
-			return newHashJoin(left, right, lks, rks, residual), nil
+			hj := newHashJoin(left, right, lks, rks, residual)
+			return db.instrument("hashjoin", hj, left, right), nil
 		}
 		residual, err := compileResidual(applicable)
 		if err != nil {
 			return nil, err
 		}
 		markUsed(applicable)
-		return newNLJoin(left, right, residual), nil
+		return db.instrument("nljoin", newNLJoin(left, right, residual), left, right), nil
 	}
 }
 

@@ -3,6 +3,7 @@ package optimizer
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"tango/internal/algebra"
 	"tango/internal/cost"
@@ -35,18 +36,27 @@ type Candidate struct {
 }
 
 // Result carries the chosen plan and the optimizer accounting the
-// paper reports per query: equivalence classes and class elements.
+// paper reports per query: equivalence classes and class elements,
+// plus search statistics for the telemetry exporter.
 type Result struct {
 	Best       *algebra.Node
 	BestCost   float64
 	Candidates []Candidate // sorted by ascending cost
 	Classes    int
 	Elements   int
+	// PlansCosted is the number of complete plans priced in phase two.
+	PlansCosted int
+	// RulesFired counts successful rule applications by rule name
+	// (including rewrites later deduplicated or invalidated).
+	RulesFired map[string]int
+	// Elapsed is the wall time of the whole optimization.
+	Elapsed time.Duration
 }
 
 // Optimize runs both phases on an initial plan (which, per §2.1,
 // assigns all processing to the DBMS with a single T^M on top).
 func (o *Optimizer) Optimize(initial *algebra.Node) (*Result, error) {
+	start := time.Now()
 	if err := initial.Validate(); err != nil {
 		return nil, fmt.Errorf("optimizer: initial plan: %w", err)
 	}
@@ -69,10 +79,11 @@ func (o *Optimizer) Optimize(initial *algebra.Node) (*Result, error) {
 		order = append(order, k)
 		memo.addPlan(p)
 	}
+	fired := map[string]int{}
 	add(initial.Clone())
 	for i := 0; i < len(order) && len(order) < maxPlans; i++ {
 		plan := seen[order[i]]
-		for _, rewritten := range applyRulesEverywhere(plan, rules, memo) {
+		for _, rewritten := range applyRulesEverywhere(plan, rules, memo, fired) {
 			if len(order) >= maxPlans {
 				break
 			}
@@ -84,7 +95,7 @@ func (o *Optimizer) Optimize(initial *algebra.Node) (*Result, error) {
 	}
 
 	// Phase two: cost every candidate.
-	res := &Result{}
+	res := &Result{RulesFired: fired}
 	for _, k := range order {
 		plan := seen[k]
 		// Only complete plans (root delivering to the middleware) are
@@ -97,6 +108,7 @@ func (o *Optimizer) Optimize(initial *algebra.Node) (*Result, error) {
 			return nil, err
 		}
 		res.Candidates = append(res.Candidates, Candidate{Plan: plan, Cost: c})
+		res.PlansCosted++
 	}
 	if len(res.Candidates) == 0 {
 		return nil, fmt.Errorf("optimizer: no executable candidate plans")
@@ -107,6 +119,7 @@ func (o *Optimizer) Optimize(initial *algebra.Node) (*Result, error) {
 	res.Best = res.Candidates[0].Plan
 	res.BestCost = res.Candidates[0].Cost
 	res.Classes, res.Elements = memo.counts()
+	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
@@ -126,8 +139,9 @@ func (o *Optimizer) activeRules() []Rule {
 
 // applyRulesEverywhere applies every rule at every node of the plan,
 // returning full rewritten plans. The memo records subtree
-// equivalences for the class/element accounting.
-func applyRulesEverywhere(plan *algebra.Node, rules []Rule, memo *memoTable) []*algebra.Node {
+// equivalences for the class/element accounting; fired counts
+// successful applications per rule name.
+func applyRulesEverywhere(plan *algebra.Node, rules []Rule, memo *memoTable, fired map[string]int) []*algebra.Node {
 	var out []*algebra.Node
 	// Enumerate node positions by a path of 0 (left) / 1 (right).
 	var walk func(n *algebra.Node, path []int)
@@ -137,6 +151,9 @@ func applyRulesEverywhere(plan *algebra.Node, rules []Rule, memo *memoTable) []*
 		}
 		for _, r := range rules {
 			for _, sub := range r.Apply(n) {
+				if fired != nil {
+					fired[r.Name]++
+				}
 				memo.recordEquiv(n, sub)
 				out = append(out, replaceAt(plan, path, sub))
 			}

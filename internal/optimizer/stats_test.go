@@ -1,0 +1,71 @@
+package optimizer
+
+import (
+	"testing"
+)
+
+// TestSearchStatisticsExported checks the telemetry accounting the
+// optimizer attaches to every Result: classes/elements, the number of
+// plans priced in phase two, per-rule firing counts, and wall time.
+func TestSearchStatisticsExported(t *testing.T) {
+	o := newOptimizer()
+	res, err := o.Optimize(query1Initial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes <= 0 || res.Elements <= 0 {
+		t.Fatalf("memo accounting missing: %d classes, %d elements", res.Classes, res.Elements)
+	}
+	if res.Elements < res.Classes {
+		t.Errorf("elements (%d) < classes (%d)", res.Elements, res.Classes)
+	}
+	if res.PlansCosted != len(res.Candidates) {
+		t.Errorf("PlansCosted = %d, candidates = %d", res.PlansCosted, len(res.Candidates))
+	}
+	if res.PlansCosted <= 1 {
+		t.Errorf("expected several costed plans for Query 1, got %d", res.PlansCosted)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", res.Elapsed)
+	}
+	if len(res.RulesFired) == 0 {
+		t.Fatal("no rule firings recorded")
+	}
+	total := 0
+	for rule, n := range res.RulesFired {
+		if rule == "" {
+			t.Error("unnamed rule fired")
+		}
+		if n <= 0 {
+			t.Errorf("rule %s fired %d times", rule, n)
+		}
+		total += n
+	}
+	// Moving the aggregation to the middleware requires at least the
+	// transfer-introduction rules to have fired; the closure fires far
+	// more rewrites than distinct plans survive deduplication.
+	if total < res.PlansCosted {
+		t.Errorf("total firings %d < plans costed %d", total, res.PlansCosted)
+	}
+}
+
+// TestRulesFiredStableAcrossRuns: rule accounting must be
+// deterministic, like the rest of the optimizer.
+func TestRulesFiredStableAcrossRuns(t *testing.T) {
+	a, err := newOptimizer().Optimize(query1Initial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newOptimizer().Optimize(query1Initial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.RulesFired) != len(b.RulesFired) {
+		t.Fatalf("rule sets differ: %v vs %v", a.RulesFired, b.RulesFired)
+	}
+	for rule, n := range a.RulesFired {
+		if b.RulesFired[rule] != n {
+			t.Errorf("rule %s: %d vs %d firings", rule, n, b.RulesFired[rule])
+		}
+	}
+}

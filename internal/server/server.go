@@ -11,6 +11,7 @@ import (
 	"tango/internal/engine"
 	"tango/internal/meta"
 	"tango/internal/rel"
+	"tango/internal/telemetry"
 	"tango/internal/types"
 	"tango/internal/wire"
 )
@@ -37,6 +38,25 @@ func (s *Server) DB() *engine.DB { return s.db }
 
 // SetLatency replaces the latency model (used by experiments).
 func (s *Server) SetLatency(lat wire.Latency) { s.lat = lat }
+
+// RegisterMetrics exports the server's traffic counters into the
+// registry and turns on the engine's instrumentation (per-operator
+// series under engine="dbms" plus the disk and buffer-pool gauges).
+func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("tango_server_queries", nil, func() float64 {
+		return float64(atomic.LoadInt64(&s.queries))
+	})
+	reg.GaugeFunc("tango_server_rows_out", nil, func() float64 {
+		return float64(atomic.LoadInt64(&s.rowsOut))
+	})
+	reg.GaugeFunc("tango_server_rows_in", nil, func() float64 {
+		return float64(atomic.LoadInt64(&s.rowsIn))
+	})
+	s.db.SetMetrics(reg)
+}
 
 // Exec runs a non-SELECT statement.
 func (s *Server) Exec(sql string) (int64, error) {

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // BufferPool caches pages from a Disk with LRU replacement and
@@ -19,8 +20,8 @@ type BufferPool struct {
 	frames map[PageID]*frame
 	lru    *list.List // of *frame, most-recent at front
 
-	hits   int64
-	misses int64
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type frame struct {
@@ -51,10 +52,10 @@ func (bp *BufferPool) Fetch(pid PageID) (*Page, error) {
 	if f, ok := bp.frames[pid]; ok {
 		f.pins++
 		bp.lru.MoveToFront(f.elem)
-		bp.hits++
+		bp.hits.Add(1)
 		return &f.page, nil
 	}
-	bp.misses++
+	bp.misses.Add(1)
 	f, err := bp.allocFrame(pid)
 	if err != nil {
 		return nil, err
@@ -161,7 +162,32 @@ func (bp *BufferPool) Invalidate(file FileID) {
 
 // Stats returns cumulative hit and miss counts.
 func (bp *BufferPool) Stats() (hits, misses int64) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.hits, bp.misses
+	return bp.hits.Load(), bp.misses.Load()
+}
+
+// PoolStats is an atomic snapshot of the pool's cumulative hit/miss
+// counters.
+type PoolStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Snapshot returns the current counters without taking the pool lock,
+// so per-query deltas can be computed while other queries run.
+func (bp *BufferPool) Snapshot() PoolStats {
+	return PoolStats{Hits: bp.hits.Load(), Misses: bp.misses.Load()}
+}
+
+// Sub returns the delta s - base (activity between two snapshots).
+func (s PoolStats) Sub(base PoolStats) PoolStats {
+	return PoolStats{Hits: s.Hits - base.Hits, Misses: s.Misses - base.Misses}
+}
+
+// HitRatio returns hits / (hits+misses), or 0 when the pool is cold.
+func (s PoolStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }

@@ -3,18 +3,21 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Disk is the simulated block device: a set of files, each a vector of
 // raw pages. Reads and writes are counted so the engine and the
-// experiments can report I/O work. Access is goroutine-safe.
+// experiments can report I/O work. Access is goroutine-safe; the I/O
+// counters are atomic so concurrent queries can snapshot them without
+// taking the disk lock.
 type Disk struct {
 	mu     sync.Mutex
 	files  map[FileID][][]byte
 	nextID FileID
 
-	reads  int64
-	writes int64
+	reads  atomic.Int64
+	writes atomic.Int64
 
 	// failure injection for tests: when failReads/failWrites reaches
 	// zero on a countdown, the operation fails.
@@ -82,7 +85,7 @@ func (d *Disk) AppendPage(id FileID) (int32, error) {
 		return 0, fmt.Errorf("storage: no file %d", id)
 	}
 	d.files[id] = append(pages, make([]byte, PageSize))
-	d.writes++
+	d.writes.Add(1)
 	return int32(len(pages)), nil
 }
 
@@ -102,7 +105,7 @@ func (d *Disk) ReadPage(pid PageID, dst *Page) error {
 	}
 	copy(dst.buf[:], pages[pid.No])
 	dst.dirty = false
-	d.reads++
+	d.reads.Add(1)
 	return nil
 }
 
@@ -121,20 +124,35 @@ func (d *Disk) WritePage(pid PageID, src *Page) error {
 		return fmt.Errorf("storage: write of missing page %v", pid)
 	}
 	copy(pages[pid.No], src.buf[:])
-	d.writes++
+	d.writes.Add(1)
 	return nil
 }
 
 // Stats returns the cumulative read and write counts.
 func (d *Disk) Stats() (reads, writes int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.reads, d.writes
+	return d.reads.Load(), d.writes.Load()
+}
+
+// IOStats is an atomic snapshot of the disk's cumulative I/O counters.
+type IOStats struct {
+	Reads  int64
+	Writes int64
+}
+
+// Snapshot returns the current I/O counters without taking the disk
+// lock, so per-query deltas can be computed while other queries run.
+func (d *Disk) Snapshot() IOStats {
+	return IOStats{Reads: d.reads.Load(), Writes: d.writes.Load()}
+}
+
+// Sub returns the delta s - base (the I/O performed between two
+// snapshots).
+func (s IOStats) Sub(base IOStats) IOStats {
+	return IOStats{Reads: s.Reads - base.Reads, Writes: s.Writes - base.Writes}
 }
 
 // ResetStats zeroes the I/O counters.
 func (d *Disk) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.reads, d.writes = 0, 0
+	d.reads.Store(0)
+	d.writes.Store(0)
 }

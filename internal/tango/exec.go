@@ -11,6 +11,8 @@ import (
 	"tango/internal/client"
 	"tango/internal/rel"
 	"tango/internal/sqlgen"
+	"tango/internal/storage"
+	"tango/internal/telemetry"
 	"tango/internal/types"
 	"tango/internal/xxl"
 )
@@ -33,9 +35,26 @@ type Executor struct {
 	// shared by all consumers.
 	ShareTransfers bool
 
+	// Metrics, when set, enables per-operator instrumentation and
+	// flushes the measured operator tree into the registry after each
+	// run (series under engine="mw").
+	Metrics *telemetry.Registry
+	// Analyze enables per-operator instrumentation even without a
+	// registry, so ExecStats is populated (EXPLAIN ANALYZE).
+	Analyze bool
+	// Trace, when set, receives build/execute/transfer child spans for
+	// the query-lifecycle trace.
+	Trace *telemetry.Span
+	// IOProbe, when set, snapshots the engine's I/O counters around
+	// execution so the execute span carries per-query disk and
+	// buffer-pool deltas (wired by in-process harnesses that can reach
+	// the DBMS instance).
+	IOProbe func() (storage.IOStats, storage.PoolStats)
+
 	transfersM []*xxl.TransferM
 	transfersD []*xxl.TransferD
 	shared     map[string]*xxl.SharedSource
+	root       *telemetry.Iter
 }
 
 // Build compiles the plan into an iterator. The plan root must be
@@ -50,20 +69,61 @@ func (e *Executor) Build(plan *algebra.Node) (rel.Iterator, error) {
 	e.transfersM = nil
 	e.transfersD = nil
 	e.shared = map[string]*xxl.SharedSource{}
+	e.root = nil
 	return e.buildMW(plan)
 }
 
 // Run builds and drains the plan, returning the materialized result.
 func (e *Executor) Run(plan *algebra.Node) (*rel.Relation, error) {
+	sb := e.Trace.Child("build")
 	it, err := e.Build(plan)
+	sb.Finish()
 	if err != nil {
 		return nil, err
+	}
+	se := e.Trace.Child("execute")
+	var ioBase storage.IOStats
+	var poolBase storage.PoolStats
+	if e.IOProbe != nil {
+		ioBase, poolBase = e.IOProbe()
 	}
 	out, err := rel.Drain(it)
 	if cerr := it.Close(); err == nil {
 		err = cerr
 	}
+	if out != nil {
+		se.SetInt("rows", int64(out.Cardinality()))
+		se.SetInt("bytes", int64(out.ByteSize()))
+	}
+	if e.IOProbe != nil {
+		io, pool := e.IOProbe()
+		dio, dpool := io.Sub(ioBase), pool.Sub(poolBase)
+		se.SetInt("disk_reads", dio.Reads)
+		se.SetInt("disk_writes", dio.Writes)
+		se.SetInt("pool_hits", dpool.Hits)
+		se.SetInt("pool_misses", dpool.Misses)
+	}
+	for _, fb := range e.Feedback() {
+		c := se.AddChild("transfer", fb.Elapsed)
+		c.SetInt("rows", fb.Rows)
+		c.SetInt("bytes", fb.Bytes)
+		c.Set("sql", abbreviate(fb.SQL, 48))
+	}
+	se.Finish()
+	if e.Metrics != nil && e.root != nil {
+		telemetry.RecordOpStats(e.Metrics, "mw", e.root.Stats())
+	}
 	return out, err
+}
+
+// ExecStats returns the measured operator tree of the last run, or nil
+// when instrumentation was disabled (neither Metrics nor Analyze set).
+// Valid after the iterator is drained and closed.
+func (e *Executor) ExecStats() *telemetry.OpStats {
+	if e.root == nil {
+		return nil
+	}
+	return e.root.Stats()
 }
 
 // Feedback returns the transfer statistics observed by the last run
@@ -80,6 +140,30 @@ func (e *Executor) Feedback() []client.Feedback {
 	return out
 }
 
+func (e *Executor) instrumented() bool { return e.Analyze || e.Metrics != nil }
+
+// instrument wraps a middleware operator with telemetry, labeling it
+// in the paper's notation (TAggr^M, TJoin^M, TM, TD) and linking the
+// already-instrumented inputs as children in the stats tree. The plan
+// node is attached so the adaptive cost loop can match measurements
+// back to estimates. The last wrapper built is the plan root (buildMW
+// wraps bottom-up).
+func (e *Executor) instrument(n *algebra.Node, it rel.Iterator, inputs ...rel.Iterator) rel.Iterator {
+	if !e.instrumented() {
+		return it
+	}
+	label := n.Op.String() + "^M"
+	switch n.Op {
+	case algebra.OpTM:
+		label = "TM"
+	case algebra.OpTD:
+		label = "TD"
+	}
+	w := telemetry.Instrument(label, n, it, inputs...)
+	e.root = w
+	return w
+}
+
 func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 	switch n.Op {
 	case algebra.OpTM:
@@ -90,7 +174,11 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return xxl.NewFilter(in, n.Pred)
+		f, err := xxl.NewFilter(in, n.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return e.instrument(n, f, in), nil
 
 	case algebra.OpProject:
 		in, err := e.buildMW(n.Left)
@@ -110,7 +198,7 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 			}
 			idx[i] = j
 		}
-		return xxl.NewProject(in, idx, outSchema), nil
+		return e.instrument(n, xxl.NewProject(in, idx, outSchema), in), nil
 
 	case algebra.OpSort:
 		in, err := e.buildMW(n.Left)
@@ -121,7 +209,7 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return xxl.NewSort(in, keys), nil
+		return e.instrument(n, xxl.NewSort(in, keys), in), nil
 
 	case algebra.OpJoin, algebra.OpTJoin:
 		left, err := e.buildMW(n.Left)
@@ -141,14 +229,15 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 			return nil, err
 		}
 		if n.Op == algebra.OpJoin {
-			return xxl.NewMergeJoin(left, right, lkeys, rkeys), nil
+			return e.instrument(n, xxl.NewMergeJoin(left, right, lkeys, rkeys), left, right), nil
 		}
 		lt1, lt2 := algebra.TimeColumns(left.Schema())
 		rt1, rt2 := algebra.TimeColumns(right.Schema())
 		if lt1 < 0 || lt2 < 0 || rt1 < 0 || rt2 < 0 {
 			return nil, fmt.Errorf("tango: temporal join inputs lack T1/T2")
 		}
-		return xxl.NewTJoin(left, right, lkeys, rkeys, lt1, lt2, rt1, rt2), nil
+		tj := xxl.NewTJoin(left, right, lkeys, rkeys, lt1, lt2, rt1, rt2)
+		return e.instrument(n, tj, left, right), nil
 
 	case algebra.OpTAggr:
 		in, err := e.buildMW(n.Left)
@@ -180,14 +269,15 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 			}
 			aggs[i] = spec
 		}
-		return xxl.NewTAggr(in, groupBy, t1, t2, aggs, outSchema), nil
+		ta := xxl.NewTAggr(in, groupBy, t1, t2, aggs, outSchema)
+		return e.instrument(n, ta, in), nil
 
 	case algebra.OpDupElim:
 		in, err := e.buildMW(n.Left)
 		if err != nil {
 			return nil, err
 		}
-		return xxl.NewDupElim(in), nil
+		return e.instrument(n, xxl.NewDupElim(in), in), nil
 
 	case algebra.OpCoalesce:
 		in, err := e.buildMW(n.Left)
@@ -198,7 +288,7 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 		if t1 < 0 || t2 < 0 {
 			return nil, fmt.Errorf("tango: coalesce input lacks T1/T2")
 		}
-		return xxl.NewCoalesce(in, t1, t2), nil
+		return e.instrument(n, xxl.NewCoalesce(in, t1, t2), in), nil
 
 	default:
 		return nil, fmt.Errorf("tango: operator %v cannot run in the middleware", n.Op)
@@ -210,6 +300,7 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 func (e *Executor) buildTM(n *algebra.Node) (rel.Iterator, error) {
 	gen := &sqlgen.Gen{Cat: e.Cat, TempTables: map[*algebra.Node]string{}, Hint: e.Hint}
 	var deps []*xxl.TransferD
+	var tdIters []rel.Iterator
 	// Find T^D nodes in the DBMS region (stop descending at them).
 	var visit func(m *algebra.Node) error
 	visit = func(m *algebra.Node) error {
@@ -221,6 +312,11 @@ func (e *Executor) buildTM(n *algebra.Node) (rel.Iterator, error) {
 			if err != nil {
 				return err
 			}
+			// The T^D wrapper measures the transfer's read side (the
+			// rows shipped to the DBMS) and links the middleware island
+			// into the stats tree as a child of the enclosing T^M.
+			in = e.instrument(m, in, in)
+			tdIters = append(tdIters, in)
 			name := e.Conn.TempName()
 			td := xxl.NewTransferD(e.Conn, in, name)
 			td.UseInserts = e.UseInserts
@@ -251,13 +347,13 @@ func (e *Executor) buildTM(n *algebra.Node) (rel.Iterator, error) {
 	// dependencies) are issued once per plan execution.
 	if e.ShareTransfers && len(deps) == 0 {
 		if src, ok := e.shared[sql]; ok {
-			return src.Reader(), nil
+			return e.instrument(n, src.Reader()), nil
 		}
 		src := xxl.NewSharedSource(tm)
 		e.shared[sql] = src
-		return src.Reader(), nil
+		return e.instrument(n, src.Reader()), nil
 	}
-	return tm, nil
+	return e.instrument(n, tm, tdIters...), nil
 }
 
 func colIndexes(s types.Schema, names []string) ([]int, error) {
@@ -270,6 +366,14 @@ func colIndexes(s types.Schema, names []string) ([]int, error) {
 		idx[i] = j
 	}
 	return idx, nil
+}
+
+// abbreviate shortens a SQL statement for span attributes.
+func abbreviate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
 }
 
 // ConnCatalog adapts a client connection to the algebra's Catalog

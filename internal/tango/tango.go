@@ -2,6 +2,9 @@ package tango
 
 import (
 	"fmt"
+	"strings"
+	"sync"
+	"time"
 
 	"tango/internal/algebra"
 	"tango/internal/client"
@@ -11,6 +14,8 @@ import (
 	"tango/internal/server"
 	"tango/internal/sqlgen"
 	"tango/internal/stats"
+	"tango/internal/storage"
+	"tango/internal/telemetry"
 )
 
 // Middleware is TANGO: the temporal middleware sitting between an
@@ -26,6 +31,20 @@ type Middleware struct {
 
 	// Alpha is the feedback adaptation rate (0 disables adaptation).
 	Alpha float64
+
+	// Metrics, when set, receives middleware telemetry: per-operator
+	// series (engine="mw"), optimizer search statistics, per-operator
+	// cardinality drift (Q-error), and query counters. It is also
+	// handed to the executor for operator instrumentation.
+	Metrics *telemetry.Registry
+	// IOProbe forwards engine I/O counters into the execute span of
+	// the query trace (wired by in-process harnesses that can reach
+	// the DBMS instance directly).
+	IOProbe func() (storage.IOStats, storage.PoolStats)
+
+	mu        sync.Mutex
+	lastTrace *telemetry.Span
+	lastStats *telemetry.OpStats
 }
 
 // Options configures the middleware.
@@ -40,12 +59,16 @@ type Options struct {
 	Alpha float64
 	// Prefetch is the wire rows-per-fetch; 0 uses the default.
 	Prefetch int
+	// Metrics attaches a telemetry registry to the middleware (see
+	// Middleware.Metrics); nil disables metrics.
+	Metrics *telemetry.Registry
 }
 
 // Open connects the middleware to a DBMS server.
 func Open(srv *server.Server, opts Options) *Middleware {
 	conn := client.Connect(srv)
 	conn.Prefetch = opts.Prefetch
+	conn.Metrics = opts.Metrics
 	cat := ConnCatalog{Conn: conn}
 	est := stats.NewEstimator(cat, conn)
 	est.HistogramBuckets = opts.HistogramBuckets
@@ -58,12 +81,13 @@ func Open(srv *server.Server, opts Options) *Middleware {
 		alpha = 0.2
 	}
 	return &Middleware{
-		Conn:  conn,
-		Cat:   cat,
-		Est:   est,
-		Model: model,
-		Opt:   optimizer.New(cat, model),
-		Alpha: alpha,
+		Conn:    conn,
+		Cat:     cat,
+		Est:     est,
+		Model:   model,
+		Opt:     optimizer.New(cat, model),
+		Alpha:   alpha,
+		Metrics: opts.Metrics,
 	}
 }
 
@@ -82,38 +106,175 @@ func (m *Middleware) Calibrate(rows int) error {
 
 // Optimize runs the two-phase optimizer on an initial plan.
 func (m *Middleware) Optimize(initial *algebra.Node) (*optimizer.Result, error) {
-	return m.Opt.Optimize(initial)
+	res, elapsed, err := m.timedOptimize(initial, nil)
+	_ = elapsed
+	return res, err
 }
 
-// Execute runs a physical plan and feeds the observed transfer costs
-// back into the cost factors.
+// timedOptimize runs the optimizer under an "optimize" child span and
+// exports the search statistics to the registry.
+func (m *Middleware) timedOptimize(initial *algebra.Node, root *telemetry.Span) (*optimizer.Result, time.Duration, error) {
+	sp := root.Child("optimize")
+	start := time.Now()
+	res, err := m.Opt.Optimize(initial)
+	elapsed := time.Since(start)
+	sp.Finish()
+	if err != nil {
+		return nil, elapsed, err
+	}
+	sp.SetInt("classes", int64(res.Classes))
+	sp.SetInt("elements", int64(res.Elements))
+	sp.SetInt("plans", int64(len(res.Candidates)))
+	sp.SetFloat("cost", res.BestCost)
+	m.recordOptimizer(res, elapsed)
+	return res, elapsed, nil
+}
+
+// recordOptimizer exports one optimization's search statistics.
+func (m *Middleware) recordOptimizer(res *optimizer.Result, elapsed time.Duration) {
+	reg := m.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("tango_queries_total", nil).Inc()
+	reg.Histogram("tango_optimize_seconds", nil, telemetry.DurationBuckets).Observe(elapsed.Seconds())
+	reg.Histogram("tango_optimizer_classes", nil, telemetry.CountBuckets).Observe(float64(res.Classes))
+	reg.Histogram("tango_optimizer_elements", nil, telemetry.CountBuckets).Observe(float64(res.Elements))
+	reg.Counter("tango_optimizer_plans_costed_total", nil).Add(int64(res.PlansCosted))
+	for rule, n := range res.RulesFired {
+		reg.Counter("tango_optimizer_rule_fired_total", telemetry.Labels{"rule": rule}).Add(int64(n))
+	}
+}
+
+// newExecutor builds an executor configured with the middleware's
+// telemetry. Instrumentation is on when a registry is attached, when
+// adaptation is enabled (the per-operator feedback loop needs measured
+// timings), or when analyze is forced.
+func (m *Middleware) newExecutor(root *telemetry.Span, analyze bool) *Executor {
+	return &Executor{
+		Conn:    m.Conn,
+		Cat:     m.Cat,
+		Metrics: m.Metrics,
+		Analyze: analyze || m.Alpha > 0,
+		Trace:   root,
+		IOProbe: m.IOProbe,
+	}
+}
+
+// Execute runs a physical plan and feeds the observed transfer and
+// per-operator costs back into the cost factors.
 func (m *Middleware) Execute(plan *algebra.Node) (*rel.Relation, error) {
-	ex := &Executor{Conn: m.Conn, Cat: m.Cat}
+	root := telemetry.NewSpan("query")
+	defer m.finish(root)
+	return m.execute(plan, root)
+}
+
+func (m *Middleware) execute(plan *algebra.Node, root *telemetry.Span) (*rel.Relation, error) {
+	ex := m.newExecutor(root, false)
 	out, err := ex.Run(plan)
 	if err != nil {
 		return nil, err
 	}
-	if m.Alpha > 0 {
-		for _, fb := range ex.Feedback() {
-			isLoad := len(fb.SQL) >= 4 && fb.SQL[:4] == "LOAD"
-			m.Model.F.Adapt(fb, isLoad, m.Alpha)
-		}
-	}
+	m.absorb(ex)
+	m.mu.Lock()
+	m.lastStats = ex.ExecStats()
+	m.mu.Unlock()
 	return out, nil
 }
 
+// finish closes the root span and stores it as the last trace.
+func (m *Middleware) finish(root *telemetry.Span) {
+	root.Finish()
+	m.mu.Lock()
+	m.lastTrace = root
+	m.mu.Unlock()
+}
+
+// absorb feeds one execution's measurements back into the model: the
+// whole-transfer EWMA (T^M/T^D factors), the per-operator factor
+// refinement, and the Q-error drift metrics comparing the optimizer's
+// cardinality estimates against observed row counts.
+func (m *Middleware) absorb(ex *Executor) {
+	if m.Alpha > 0 {
+		m.mu.Lock()
+		for _, fb := range ex.Feedback() {
+			isLoad := strings.HasPrefix(fb.SQL, "LOAD")
+			m.Model.F.Adapt(fb, isLoad, m.Alpha)
+		}
+		m.mu.Unlock()
+	}
+	st := ex.ExecStats()
+	if st == nil {
+		return
+	}
+	st.Walk(func(s *telemetry.OpStats) {
+		n, ok := s.Node.(*algebra.Node)
+		if !ok || n == nil {
+			return
+		}
+		if m.Alpha > 0 {
+			obs := cost.ObservedOp{
+				Op:       n.Op,
+				Loc:      n.Loc(),
+				InBytes:  float64(s.InputBytes()),
+				OutBytes: float64(s.Bytes),
+				InCard:   float64(s.InputRows()),
+				OutCard:  float64(s.Rows),
+				Micros:   float64(s.SelfTime()) / float64(time.Microsecond),
+			}
+			if n.Op == algebra.OpSelect && n.Pred != nil {
+				obs.PredTerms = cost.PredTerms(n.Pred)
+			}
+			m.mu.Lock()
+			m.Model.F.AdaptOp(obs, m.Alpha)
+			m.mu.Unlock()
+		}
+		if m.Metrics != nil && s.Rows > 0 {
+			if est, err := m.Est.Estimate(n); err == nil && est.Card > 0 {
+				q := est.Card / float64(s.Rows)
+				if q < 1 {
+					q = 1 / q
+				}
+				l := telemetry.Labels{"op": s.Op}
+				m.Metrics.Histogram("tango_qerror", l, telemetry.QErrorBuckets).Observe(q)
+				m.Metrics.Gauge("tango_qerror_last", l).Set(q)
+			}
+		}
+	})
+}
+
 // Run optimizes an initial plan and executes the winner, returning
-// the result and the optimizer's report.
+// the result and the optimizer's report. The whole lifecycle is
+// traced (optimize → build → execute → transfers); LastTrace returns
+// the span tree.
 func (m *Middleware) Run(initial *algebra.Node) (*rel.Relation, *optimizer.Result, error) {
-	res, err := m.Optimize(initial)
+	root := telemetry.NewSpan("query")
+	defer m.finish(root)
+	res, _, err := m.timedOptimize(initial, root)
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := m.Execute(res.Best)
+	out, err := m.execute(res.Best, root)
 	if err != nil {
 		return nil, res, err
 	}
 	return out, res, nil
+}
+
+// LastTrace returns the span tree of the most recent
+// Run/Execute/ExplainAnalyze (nil before the first query).
+func (m *Middleware) LastTrace() *telemetry.Span {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastTrace
+}
+
+// LastExecStats returns the measured operator tree of the most recent
+// execution, or nil when instrumentation was off.
+func (m *Middleware) LastExecStats() *telemetry.OpStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastStats
 }
 
 // Explain renders the best plan, its estimated cost, and the SQL each
@@ -133,6 +294,41 @@ func (m *Middleware) Explain(initial *algebra.Node) (string, error) {
 		}
 	}
 	return out, nil
+}
+
+// ExplainAnalyze optimizes and executes the plan with full
+// instrumentation and renders the measured profile: the estimated
+// cost, the query-lifecycle span tree, and the per-operator tree with
+// observed rows, Next calls, bytes, and self times. The materialized
+// result is returned alongside the report.
+func (m *Middleware) ExplainAnalyze(initial *algebra.Node) (string, *rel.Relation, error) {
+	root := telemetry.NewSpan("query")
+	defer m.finish(root)
+	res, _, err := m.timedOptimize(initial, root)
+	if err != nil {
+		return "", nil, err
+	}
+	ex := m.newExecutor(root, true)
+	out, err := ex.Run(res.Best)
+	if err != nil {
+		return "", nil, err
+	}
+	m.absorb(ex)
+	m.mu.Lock()
+	m.lastStats = ex.ExecStats()
+	m.mu.Unlock()
+	root.Finish()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "estimated cost %.0f µs, %d classes, %d elements, %d plans costed\n",
+		res.BestCost, res.Classes, res.Elements, res.PlansCosted)
+	b.WriteString(root.Render())
+	if st := ex.ExecStats(); st != nil {
+		b.WriteString("operators:\n")
+		b.WriteString(st.Format())
+	}
+	fmt.Fprintf(&b, "result: %d rows\n", out.Cardinality())
+	return b.String(), out, nil
 }
 
 // TransferSQL returns the SQL statement under every T^M of a plan (in

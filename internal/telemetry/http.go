@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON exposition
+//	/debug/vars    expvar-style JSON (alias of /metrics.json)
+//	/debug/pprof/  Go profiling endpoints
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	jsonHandler := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	}
+	mux.HandleFunc("/metrics.json", jsonHandler)
+	mux.HandleFunc("/debug/vars", jsonHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve exposes the registry on addr (e.g. "localhost:9090" or
+// ":0" for an ephemeral port) in a background goroutine. It returns
+// the bound address and a shutdown function.
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,437 @@
+// Package telemetry is the observability substrate of the middleware:
+// a concurrency-safe metrics registry (counters, gauges, histograms
+// with fixed buckets) with Prometheus-text and JSON exposition, a
+// query-lifecycle span tracer, and an instrumented iterator that
+// measures every physical operator (rows, Next calls, bytes, wall
+// time) for EXPLAIN ANALYZE and the adaptive cost loop.
+//
+// All entry points are nil-safe: a nil *Registry (or nil metric, or
+// nil *Span) is an always-on no-op, so instrumented code paths never
+// need to guard against disabled telemetry.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attach dimensions to a metric series ({op="TAggr",loc="MW"}).
+type Labels map[string]string
+
+// labelKey renders labels deterministically (sorted by key).
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// metricKind discriminates the series types.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// series is one registered (name, labels) pair.
+type series struct {
+	name   string
+	labels Labels
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// Registry is a concurrency-safe collection of metric series.
+// The zero value is not usable; use NewRegistry. A nil *Registry is a
+// no-op sink.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: map[string]*series{}}
+}
+
+func (r *Registry) get(name string, labels Labels, kind metricKind) (*series, bool) {
+	key := name + labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %v (was %v)", key, kind, s.kind))
+		}
+		return s, true
+	}
+	cp := Labels{}
+	for k, v := range labels {
+		cp[k] = v
+	}
+	s := &series{name: name, labels: cp, kind: kind}
+	r.series[key] = s
+	return s, false
+}
+
+// Counter returns (creating if needed) the counter series.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	s, existed := r.get(name, labels, kindCounter)
+	if !existed {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns (creating if needed) the gauge series.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s, existed := r.get(name, labels, kindGauge)
+	if !existed {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers (or replaces) a gauge whose value is computed at
+// collection time — used for ratios and externally owned counters.
+func (r *Registry) GaugeFunc(name string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	s, _ := r.get(name, labels, kindGaugeFunc)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns (creating if needed) the histogram series with the
+// given upper bucket bounds (ascending; +Inf is implicit). Bounds are
+// fixed at first registration.
+func (r *Registry) Histogram(name string, labels Labels, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s, existed := r.get(name, labels, kindHistogram)
+	if !existed {
+		s.hist = newHistogram(buckets)
+	}
+	return s.hist
+}
+
+// NumSeries returns the number of distinct registered series.
+func (r *Registry) NumSeries() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.series)
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increases the counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge value.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// DurationBuckets are the default bounds (seconds) for operator and
+// query timing histograms: 1µs … 10s.
+var DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// CountBuckets are the default bounds for row/byte-count histograms.
+var CountBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7}
+
+// QErrorBuckets are the default bounds for Q-error (estimated vs.
+// observed cardinality drift) histograms: exact=1 up to 1000×.
+var QErrorBuckets = []float64{1, 1.5, 2, 4, 8, 16, 64, 256, 1000}
+
+// SeriesSnapshot is one collected series, used by both expositions.
+type SeriesSnapshot struct {
+	Name   string
+	Labels Labels
+	Kind   string
+	// Value is set for counters and gauges.
+	Value float64
+	// Histogram data (Kind == "histogram").
+	Bounds       []float64
+	BucketCounts []int64 // len(Bounds)+1; last is the +Inf bucket
+	Count        int64
+	Sum          float64
+}
+
+// Snapshot collects every series, sorted by name then labels.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return labelKey(all[i].labels) < labelKey(all[j].labels)
+	})
+	out := make([]SeriesSnapshot, 0, len(all))
+	for _, s := range all {
+		snap := SeriesSnapshot{Name: s.name, Labels: s.labels, Kind: s.kind.String()}
+		switch s.kind {
+		case kindCounter:
+			snap.Value = float64(s.counter.Value())
+		case kindGauge:
+			snap.Value = s.gauge.Value()
+		case kindGaugeFunc:
+			r.mu.RLock()
+			fn := s.fn
+			r.mu.RUnlock()
+			if fn != nil {
+				snap.Value = fn()
+			}
+		case kindHistogram:
+			snap.Bounds = s.hist.bounds
+			snap.BucketCounts = make([]int64, len(s.hist.buckets))
+			for i := range s.hist.buckets {
+				snap.BucketCounts[i] = s.hist.buckets[i].Load()
+			}
+			snap.Count = s.hist.Count()
+			snap.Sum = s.hist.Sum()
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for _, s := range r.Snapshot() {
+		if s.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, promKind(s.Kind)); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		lbl := labelKey(s.Labels)
+		switch s.Kind {
+		case "histogram":
+			cum := int64(0)
+			for i, c := range s.BucketCounts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatFloat(s.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, mergeLabel(s.Labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, lbl, formatFloat(s.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, lbl, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, lbl, formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func promKind(k string) string {
+	if k == "counter" || k == "gauge" || k == "histogram" {
+		return k
+	}
+	return "gauge"
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// mergeLabel renders labels with one extra pair appended (the
+// histogram "le" bound).
+func mergeLabel(l Labels, k, v string) string {
+	m := Labels{k: v}
+	for kk, vv := range l {
+		m[kk] = vv
+	}
+	return labelKey(m)
+}
+
+// WriteJSON renders the registry as a JSON object keyed by
+// name{labels}; histograms become objects with count/sum/buckets.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := map[string]interface{}{}
+	for _, s := range r.Snapshot() {
+		key := s.Name + labelKey(s.Labels)
+		switch s.Kind {
+		case "histogram":
+			buckets := map[string]int64{}
+			cum := int64(0)
+			for i, c := range s.BucketCounts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatFloat(s.Bounds[i])
+				}
+				buckets[le] = cum
+			}
+			out[key] = map[string]interface{}{
+				"count": s.Count, "sum": s.Sum, "buckets": buckets,
+			}
+		default:
+			out[key] = s.Value
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

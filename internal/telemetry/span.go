@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a query's lifecycle (parse → optimize →
+// split → transfer → execute). Spans form a tree; each span carries
+// wall time and ordered attributes (rows, bytes, I/O). A nil *Span is
+// a no-op, so tracing can be disabled by simply not creating a root.
+type Span struct {
+	Name string
+
+	mu       sync.Mutex
+	start    time.Time
+	elapsed  time.Duration
+	done     bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one span attribute; insertion order is preserved.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// Child starts a nested span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// AddChild attaches an already-measured child span — used to record
+// phases whose duration was observed elsewhere (e.g. wire transfers
+// timed by the client feedback machinery). The returned span is
+// finished; attributes may still be added.
+func (s *Span) AddChild(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, start: time.Now().Add(-d), elapsed: d, done: true}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Finish stops the span clock (idempotent) and returns the elapsed
+// wall time.
+func (s *Span) Finish() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		s.elapsed = time.Since(s.start)
+		s.done = true
+	}
+	return s.elapsed
+}
+
+// Elapsed returns the span duration (current running time if the span
+// is not finished).
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.elapsed
+	}
+	return time.Since(s.start)
+}
+
+// Set records a string attribute.
+func (s *Span) Set(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt records an integer attribute.
+func (s *Span) SetInt(key string, v int64) { s.Set(key, fmt.Sprintf("%d", v)) }
+
+// SetFloat records a float attribute.
+func (s *Span) SetFloat(key string, v float64) { s.Set(key, fmt.Sprintf("%g", v)) }
+
+// Children returns the child spans (copy).
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Render draws the span tree with durations and attributes:
+//
+//	query 12.3ms
+//	├─ optimize 1.1ms classes=12 elements=29
+//	└─ execute 11.0ms rows=733
+func (s *Span) Render() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.render(&b, "", "")
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, prefix, childPrefix string) {
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	b.WriteString(prefix)
+	b.WriteString(s.Name)
+	fmt.Fprintf(b, " %s", fmtDuration(s.Elapsed()))
+	for _, a := range attrs {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	for i, c := range children {
+		if i == len(children)-1 {
+			c.render(b, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			c.render(b, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// fmtDuration renders a duration with sensible precision.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}
