@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci clean
+# Fuzz smoke budget per target (ci runs each fuzzer this long).
+FUZZTIME ?= 10s
+
+.PHONY: all build vet lint test race fuzz ci clean
 
 all: ci
 
@@ -12,15 +15,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project-specific analyzers (iterator lifecycle,
+# dropped errors, mixed atomic/plain field access, hand-written
+# operator schemas) over the whole tree. Exit status 1 means findings.
+lint:
+	$(GO) run ./cmd/tangolint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# ci is the full verification gate: compile everything, vet, and run
-# the test suite under the race detector.
-ci: build vet race
+# fuzz smoke-runs both parser fuzz targets for FUZZTIME each, seeded
+# from the evaluation workload. Any crasher is written to the
+# package's testdata/fuzz corpus and replays under plain `go test`.
+fuzz:
+	$(GO) test ./internal/sqlparser/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/tsql/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+
+# ci is the full verification gate: compile everything, vet, run the
+# project analyzers, smoke the fuzz targets, and run the test suite
+# under the race detector (tests also planck-check every plan).
+ci: build vet lint fuzz race
 
 clean:
 	$(GO) clean ./...

@@ -30,6 +30,7 @@ func main() {
 	calibrate := flag.Int("calibrate", 0, "calibration sample rows (0 = default cost factors)")
 	command := flag.String("c", "", "run one statement and exit (scriptable mode)")
 	metricsAddr := flag.String("metrics", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. "127.0.0.1:9090")`)
+	checkPlans := flag.Bool("checkplans", true, "validate every optimized plan and executor build with the planck plan checker")
 	flag.Parse()
 
 	quiet := *command != ""
@@ -48,6 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "boot:", err)
 		os.Exit(1)
 	}
+	sys.MW.CheckPlans = *checkPlans
 	if *metricsAddr != "" {
 		addr, stop, err := telemetry.Serve(*metricsAddr, reg)
 		if err != nil {

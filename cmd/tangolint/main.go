@@ -1,0 +1,71 @@
+// Command tangolint is TANGO's project linter: a multichecker that
+// runs the internal/analysis suite (iterclose, errlost, atomicfield,
+// schemaprop) over the package patterns given on the command line.
+//
+// Usage:
+//
+//	go run ./cmd/tangolint [-checks list] [-list] [packages...]
+//
+// With no patterns it checks ./... . The exit status is 1 when any
+// finding is reported, so `make lint` and the CI gate fail on new
+// violations. Findings can be suppressed at the source line with
+//
+//	//lint:ignore <analyzer> <why the finding is safe>
+//
+// comments; the reason is mandatory by convention and enforced in
+// review.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tango/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tangolint [-checks list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := analysis.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangolint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangolint:", err)
+		os.Exit(2)
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangolint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tangolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

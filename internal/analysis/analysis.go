@@ -1,0 +1,315 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework in the spirit of golang.org/x/tools/go/analysis, plus the
+// project-specific analyzers that machine-check TANGO's iterator and
+// plan-building contracts:
+//
+//   - iterclose: every opened rel.Iterator-shaped value is Closed on
+//     all paths (a leaked Close pins buffer-pool pages and skews the
+//     telemetry that feeds the adaptive cost loop), and Next is not
+//     called on an exhausted iterator without re-Open;
+//   - errlost: errors from Close/Next/Open and wire-layer calls are
+//     not silently dropped;
+//   - atomicfield: struct fields touched by both sync/atomic calls and
+//     plain loads/stores (the class of data race behind the TempName
+//     counter fix);
+//   - schemaprop: operator constructors derive their output schema
+//     from their input schemas instead of hard-coding column literals,
+//     preserving the algebra's schema-propagation invariant.
+//
+// The framework loads and type-checks packages with the standard
+// library only: `go list -export -json -deps` supplies file lists and
+// compiler export data, go/parser and go/types do the rest. Findings
+// can be suppressed with a
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// comment on the flagged line or the line above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and suppressions.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run inspects the package reachable through the pass and reports
+	// findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// All returns every analyzer in the suite, in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{IterClose, ErrLost, AtomicField, SchemaProp}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(list string) ([]*Analyzer, error) {
+	if strings.TrimSpace(list) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at the given position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to the packages and returns the combined,
+// suppression-filtered findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if sup.suppressed(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// --- suppressions ---
+
+// suppressions maps file → line → set of suppressed analyzer names
+// ("all" suppresses every analyzer).
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions finds //lint:ignore directives. A directive
+// suppresses findings on its own line (trailing comment) and on the
+// following line (own-line comment).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no analyzer name: malformed, ignore
+				}
+				name := fields[1]
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sup[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					byLine[line][name] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) suppressed(d Diagnostic) bool {
+	byLine, ok := s[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	names := byLine[d.Pos.Line]
+	return names[d.Analyzer] || names["all"]
+}
+
+// --- shared type helpers ---
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is the built-in error type.
+func isErrorType(t types.Type) bool { return t != nil && types.Identical(t, errorType) }
+
+// methodSig finds a method by name in the method set of t (or *t for
+// addressable named types) and returns its signature, or nil.
+func methodSig(t types.Type, name string) *types.Signature {
+	if t == nil {
+		return nil
+	}
+	for _, typ := range []types.Type{t, pointerTo(t)} {
+		if typ == nil {
+			continue
+		}
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i)
+			if m.Obj().Name() != name {
+				continue
+			}
+			if sig, ok := m.Obj().Type().(*types.Signature); ok {
+				return sig
+			}
+		}
+	}
+	return nil
+}
+
+// pointerTo returns *t for named non-interface, non-pointer types and
+// nil otherwise (the cases where the pointer method set adds methods).
+func pointerTo(t types.Type) types.Type {
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return nil
+	}
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return nil
+	}
+	if _, ok := t.(*types.Named); ok {
+		return types.NewPointer(t)
+	}
+	return nil
+}
+
+// isIteratorLike reports whether t follows the rel.Iterator cursor
+// contract: Open() error, Close() error, and Next() (T, bool, error).
+// Matching is structural so the analyzers work on any package (engine
+// cursors, client row sets, test fixtures) without importing rel.
+func isIteratorLike(t types.Type) bool {
+	open := methodSig(t, "Open")
+	if open == nil || open.Params().Len() != 0 || open.Results().Len() != 1 ||
+		!isErrorType(open.Results().At(0).Type()) {
+		return false
+	}
+	cl := methodSig(t, "Close")
+	if cl == nil || cl.Params().Len() != 0 || cl.Results().Len() != 1 ||
+		!isErrorType(cl.Results().At(0).Type()) {
+		return false
+	}
+	next := methodSig(t, "Next")
+	if next == nil || next.Params().Len() != 0 || next.Results().Len() != 3 {
+		return false
+	}
+	res := next.Results()
+	if b, ok := res.At(1).Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Bool {
+		return false
+	}
+	return isErrorType(res.At(2).Type())
+}
+
+// callReturnsError reports whether the call's only or last result is
+// an error, and returns the index of that result (-1 if none).
+func errResultIndex(sig *types.Signature) int {
+	if sig == nil {
+		return -1
+	}
+	n := sig.Results().Len()
+	if n == 0 {
+		return -1
+	}
+	if isErrorType(sig.Results().At(n - 1).Type()) {
+		return n - 1
+	}
+	return -1
+}
+
+// calleeFunc resolves the called function or method object of a call
+// expression, or nil for calls through function values, conversions,
+// and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// callSignature returns the signature of the called expression, or nil
+// (e.g. for conversions and builtins).
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

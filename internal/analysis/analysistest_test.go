@@ -1,0 +1,109 @@
+package analysis
+
+// Analyzer tests follow the golang.org/x/tools analysistest
+// convention: each analyzer has a package under testdata/src/<name>
+// seeded with violations, and every expected finding is marked at the
+// source line with a comment of the form
+//
+//	// want `regexp`
+//
+// (multiple patterns per line are allowed). The harness loads the
+// package with LoadDir, runs one analyzer, and requires a one-to-one
+// match between reported diagnostics and want patterns. Lines carrying
+// //lint:ignore directives double as suppression tests: their findings
+// must NOT surface.
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// testAnalyzer runs one analyzer over testdata/src/<pkgname> and
+// checks the findings against the package's want comments.
+func testAnalyzer(t *testing.T, a *Analyzer, pkgname string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkgname)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkg.Fset, pkg)
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// collectWants extracts want patterns from the package's comments.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %q: %v", pos.Filename, pos.Line, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claimWant marks the first unclaimed want matching the diagnostic.
+func claimWant(wants []*want, d Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIterClose(t *testing.T)   { testAnalyzer(t, IterClose, "iterclose") }
+func TestErrLost(t *testing.T)     { testAnalyzer(t, ErrLost, "errlost") }
+func TestAtomicField(t *testing.T) { testAnalyzer(t, AtomicField, "atomicfield") }
+func TestSchemaProp(t *testing.T)  { testAnalyzer(t, SchemaProp, "schemaprop") }
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want all %d", len(all), err, len(All()))
+	}
+	two, err := ByName("iterclose, errlost")
+	if err != nil || len(two) != 2 || two[0] != IterClose || two[1] != ErrLost {
+		t.Fatalf("ByName(\"iterclose, errlost\") = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(\"nosuch\") succeeded; want error")
+	}
+}
+
+// TestLoadRealPackage proves the go list + export-data loading pipeline
+// end to end on a real project package.
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := Load("", "tango/internal/rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "tango/internal/rel" {
+		t.Fatalf("loaded %d packages, want exactly tango/internal/rel", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+		t.Fatal("loaded package missing types, info, or files")
+	}
+	obj := pkg.Types.Scope().Lookup("Iterator")
+	if obj == nil {
+		t.Fatal("rel.Iterator not found in loaded package scope")
+	}
+	// The analyzers' structural matcher must accept the real interface.
+	if !isIteratorLike(obj.Type()) {
+		t.Fatal("rel.Iterator does not satisfy isIteratorLike")
+	}
+}
+
+// TestRunCleanOnRel is a regression guard: the framework must report
+// nothing on a known-clean project package.
+func TestRunCleanOnRel(t *testing.T) {
+	pkgs, err := Load("", "tango/internal/rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		msgs := make([]string, len(diags))
+		for i, d := range diags {
+			msgs[i] = d.String()
+		}
+		t.Fatalf("unexpected findings on internal/rel:\n%s", strings.Join(msgs, "\n"))
+	}
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField detects mixed atomic/plain access to the same struct
+// field: a field that is the operand of a sync/atomic call (e.g.
+// atomic.AddInt64(&s.n, 1)) anywhere in the package must never be read
+// or written with a plain load or store — that combination is exactly
+// the data race behind the TempName counter fix, and the race detector
+// only catches it when both sides happen to execute in one test run.
+// The durable fix is migrating the field to an atomic.Int64-style
+// typed atomic, which makes plain access impossible; where a plain
+// access is provably safe (e.g. a constructor before the value is
+// shared), suppress with //lint:ignore atomicfield and say why.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "check for struct fields accessed both atomically and with plain loads/stores",
+	Run:  runAtomicField,
+}
+
+// atomicFuncs are the sync/atomic functions whose first argument is a
+// pointer to the shared word.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": true, "CompareAndSwapUint64": true, "CompareAndSwapUintptr": true,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect fields used atomically, remembering the selector
+	// expressions that are themselves part of atomic calls.
+	atomicFields := map[*types.Var]token.Pos{}
+	atomicSites := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncs[fn.Name()] {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if field := fieldOf(pass, sel); field != nil {
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = call.Pos()
+				}
+				atomicSites[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: report every plain access to those fields.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel] {
+				return true
+			}
+			field := fieldOf(pass, sel)
+			if field == nil {
+				return true
+			}
+			if first, ok := atomicFields[field]; ok {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is accessed with sync/atomic at %s but plainly here; use a typed atomic or make every access atomic",
+					field.Name(), pass.Fset.Position(first))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to a struct-field variable, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if selection, ok := pass.Info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+		if v, ok := selection.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

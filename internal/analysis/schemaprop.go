@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// SchemaProp enforces the algebra's schema-propagation invariant on
+// operator constructors: a `NewXxx` function that returns an iterator
+// (an XXL operator) must derive its output schema from its inputs'
+// schemas — concatenating, projecting, or renaming what Schema()
+// reports — never from hard-coded column literals. A literal
+// types.Column{Name: "..."} inside a constructor silently diverges
+// from the plan's derived schema the moment an upstream operator
+// changes, breaking the list/multiset equivalence machinery the
+// optimizer's rewrites rely on. Constructors that need a caller-shaped
+// schema (projection, aggregation) must accept it as a parameter, the
+// way NewProject and NewTAggr do.
+var SchemaProp = &Analyzer{
+	Name: "schemaprop",
+	Doc:  "check that operator constructors derive schemas from inputs, not literals",
+	Run:  runSchemaProp,
+}
+
+func runSchemaProp(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv != nil {
+				continue
+			}
+			if !strings.HasPrefix(fn.Name.Name, "New") {
+				continue
+			}
+			if !returnsIterator(pass, fn) {
+				continue
+			}
+			checkSchemaLiterals(pass, fn)
+		}
+	}
+	return nil
+}
+
+// returnsIterator reports whether any result of the function is
+// iterator-shaped.
+func returnsIterator(pass *Pass, fn *ast.FuncDecl) bool {
+	obj, _ := pass.Info.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isIteratorLike(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSchemaLiterals flags Column composite literals with constant
+// names inside the constructor body.
+func checkSchemaLiterals(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[lit]
+		if !ok || !isSchemaColumnType(tv.Type) {
+			return true
+		}
+		name, node := literalColumnName(pass, lit)
+		if name == "" || node == nil {
+			return true
+		}
+		pass.Reportf(node.Pos(), "operator constructor %s hard-codes output column %q; derive the schema from the input iterators' Schema() (or take it as a parameter)",
+			fn.Name.Name, name)
+		return true
+	})
+}
+
+// isSchemaColumnType matches the algebra's column descriptor: a named
+// struct type called Column, declared in a package named (or ending
+// in) "types", with a Name field.
+func isSchemaColumnType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Column" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg.Name() != "types" && !strings.HasSuffix(pkg.Path(), "/types") {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Name" {
+			return true
+		}
+	}
+	return false
+}
+
+// literalColumnName extracts a compile-time constant Name from a
+// Column composite literal, or "".
+func literalColumnName(pass *Pass, lit *ast.CompositeLit) (string, ast.Node) {
+	constOf := func(e ast.Expr) (string, bool) {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", false
+		}
+		return constant.StringVal(tv.Value), true
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Name" {
+				continue
+			}
+			if s, ok := constOf(kv.Value); ok {
+				return s, kv.Value
+			}
+			return "", nil
+		}
+		// Positional form: Name is the first field.
+		if i == 0 {
+			if s, ok := constOf(elt); ok {
+				return s, elt
+			}
+			return "", nil
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,109 @@
+// Package iterclose seeds lifecycle violations for the iterclose
+// analyzer: iterators opened but never closed, closes reachable only
+// past early returns, and Next calls on exhausted iterators.
+package iterclose
+
+type tuple []int
+
+// iter is shaped like rel.Iterator, which the analyzer matches
+// structurally.
+type iter struct{ done bool }
+
+func (*iter) Open() error                { return nil }
+func (*iter) Close() error               { return nil }
+func (*iter) Next() (tuple, bool, error) { return nil, false, nil }
+
+// conn has the cursor-opening method the analyzer treats as an
+// acquisition.
+type conn struct{}
+
+func (*conn) Query(sql string) (*iter, error) { return &iter{}, nil }
+
+func badPrecondition() bool { return false }
+
+// neverClosed acquires a cursor and drops it on the floor.
+func neverClosed(c *conn) error {
+	rows, err := c.Query("SELECT 1") // want `rows is opened but never closed`
+	if err != nil {
+		return err
+	}
+	_, _, nerr := rows.Next()
+	return nerr
+}
+
+// leakOnError closes only on the success path; the precondition return
+// leaks the open iterator.
+func leakOnError(c *conn) error {
+	it := &iter{}
+	if err := it.Open(); err != nil {
+		return err
+	}
+	if badPrecondition() {
+		return nil // want `return leaks it: opened at line \d+`
+	}
+	return it.Close()
+}
+
+// nextAfterExhaustion calls Next again after the consuming loop
+// without re-opening.
+func nextAfterExhaustion(c *conn) error {
+	rows, err := c.Query("SELECT 2")
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for {
+		_, ok, err := rows.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+	}
+	_, _, err = rows.Next() // want `rows\.Next\(\) after the consuming loop at line \d+`
+	return err
+}
+
+// drained is the sanctioned shape: defer the close right after the
+// acquisition's error check, keep the final close's error.
+func drained(c *conn) (int, error) {
+	rows, err := c.Query("SELECT 3")
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	n := 0
+	for {
+		_, ok, err := rows.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n, rows.Close()
+}
+
+// opened hands ownership to the caller; no finding.
+func opened(c *conn) (*iter, error) {
+	rows, err := c.Query("SELECT 4")
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// suppressed leaks on purpose; the directive keeps the finding quiet
+// and the harness verifies no diagnostic surfaces here.
+func suppressed(c *conn) error {
+	//lint:ignore iterclose fixture: the leak is the point of this test
+	rows, err := c.Query("SELECT 5")
+	if err != nil {
+		return err
+	}
+	_, _, nerr := rows.Next()
+	return nerr
+}

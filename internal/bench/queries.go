@@ -246,3 +246,30 @@ func Q4Initial() *algebra.Node {
 	return algebra.TM(algebra.Join(q4Position(), q4Employee(),
 		[]string{"P.EmpID"}, []string{"E.EmpID"}))
 }
+
+// --- Fuzz / smoke seed corpus ---
+
+// SeedQueries is the textual form of the evaluation workload: the
+// paper's four queries (as far as the tsql dialect can express them)
+// plus the dialect's modifiers. The parser fuzz targets
+// (internal/sqlparser and internal/tsql) seed their corpora from this
+// list so fuzzing starts from realistic statements rather than from
+// noise, and their accompanying seed tests assert each still parses.
+var SeedQueries = []string{
+	// Query 1: temporal aggregation over POSITION.
+	"VALIDTIME SELECT PosID, COUNT(PosID) FROM POSITION GROUP BY PosID ORDER BY PosID",
+	// Query 2: selection + temporal aggregation + temporal join.
+	"VALIDTIME SELECT B.PosID, B.EmpName, COUNT(B.PosID) FROM POSITION B " +
+		"WHERE B.PayRate > 10 AND B.T1 < DATE '1985-01-01' AND B.T2 > DATE '1983-01-01' " +
+		"GROUP BY B.PosID ORDER BY B.PosID",
+	// Query 3: temporal self-join.
+	"VALIDTIME SELECT A.PosID, A.EmpName, B.EmpName FROM POSITION A, POSITION B " +
+		"WHERE A.PosID = B.PosID AND A.T1 < DATE '1986-01-01' AND B.T1 < DATE '1986-01-01' " +
+		"ORDER BY A.PosID",
+	// Query 4: regular join POSITION ⋈ EMPLOYEE (no VALIDTIME).
+	"SELECT P.PosID, E.EmpName, E.Addr FROM POSITION P, EMPLOYEE E WHERE P.EmpID = E.EmpID",
+	// Dialect modifiers.
+	"VALIDTIME COALESCE SELECT PosID, EmpName, T1, T2 FROM POSITION",
+	"VALIDTIME AS OF DATE '1996-06-01' SELECT PosID, EmpName FROM POSITION WHERE PayRate > 10",
+	"VALIDTIME SELECT * FROM POSITION WHERE PayRate > 10 AND Dept = 'CS'",
+}

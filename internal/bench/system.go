@@ -65,6 +65,9 @@ func NewSystem(cfg Config) (*System, error) {
 		HistogramBuckets: cfg.Histograms,
 		Naive:            cfg.Naive,
 		Metrics:          cfg.Metrics,
+		// Every harness-driven run (and therefore every test) validates
+		// optimized plans and executor builds with planck.
+		CheckPlans: true,
 	})
 	if cfg.Metrics != nil {
 		srv.RegisterMetrics(cfg.Metrics)
@@ -116,7 +119,7 @@ func (m Measurement) Seconds() float64 { return m.Elapsed.Seconds() }
 
 // RunPlan executes a plan and times it.
 func (s *System) RunPlan(np NamedPlan) (*rel.Relation, time.Duration, error) {
-	ex := &tango.Executor{Conn: s.MW.Conn, Cat: s.MW.Cat, Hint: np.Hint}
+	ex := &tango.Executor{Conn: s.MW.Conn, Cat: s.MW.Cat, Hint: np.Hint, CheckPlans: true}
 	start := time.Now()
 	out, err := ex.Run(np.Plan.Clone())
 	return out, time.Since(start), err

@@ -161,7 +161,9 @@ func (c *Conn) QueryAll(sql string) (*rel.Relation, Feedback, error) {
 	}
 	out, err := rel.Drain(rows)
 	if err != nil {
-		rows.Close()
+		// Drain closes the iterator on every path; this re-close of an
+		// idempotent cursor is belt-and-braces only.
+		_ = rows.Close()
 		return nil, Feedback{}, err
 	}
 	return out, rows.Feedback(), nil

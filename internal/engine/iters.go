@@ -588,10 +588,17 @@ func newMergeJoin(left, right rel.Iterator, leftKey, rightKey evalFunc, residual
 
 func (j *mergeJoin) Schema() types.Schema { return j.schema }
 
-func materializeKeyed(in rel.Iterator, key evalFunc) ([]types.Tuple, []types.Value, error) {
+func materializeKeyed(in rel.Iterator, key evalFunc) (_ []types.Tuple, _ []types.Value, err error) {
 	if err := in.Open(); err != nil {
 		return nil, nil, err
 	}
+	// Close on every path, including key-evaluation errors; an input
+	// left open here used to leak the underlying cursor.
+	defer func() {
+		if cerr := in.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	var rows []types.Tuple
 	var keys []types.Value
 	for {
@@ -608,9 +615,6 @@ func materializeKeyed(in rel.Iterator, key evalFunc) ([]types.Tuple, []types.Val
 		}
 		rows = append(rows, t.Clone())
 		keys = append(keys, v)
-	}
-	if err := in.Close(); err != nil {
-		return nil, nil, err
 	}
 	idx := make([]int, len(rows))
 	for i := range idx {

@@ -9,6 +9,7 @@ import (
 
 	"tango/internal/algebra"
 	"tango/internal/client"
+	"tango/internal/planck"
 	"tango/internal/rel"
 	"tango/internal/sqlgen"
 	"tango/internal/storage"
@@ -34,6 +35,12 @@ type Executor struct {
 	// statements within one plan are issued once and their result is
 	// shared by all consumers.
 	ShareTransfers bool
+	// CheckPlans enables the planck debug validator: every plan is
+	// checked against the schema-propagation, sort-order, and
+	// transfer-placement invariants before building, and the built
+	// iterator's schema is asserted against the algebra's derivation
+	// afterwards. The bench harness keeps this on for all tests.
+	CheckPlans bool
 
 	// Metrics, when set, enables per-operator instrumentation and
 	// flushes the measured operator tree into the registry after each
@@ -66,11 +73,26 @@ func (e *Executor) Build(plan *algebra.Node) (rel.Iterator, error) {
 	if plan.Loc() != algebra.LocMW {
 		return nil, fmt.Errorf("tango: plan root must be middleware-resident (add a T^M)")
 	}
+	if e.CheckPlans {
+		if err := planck.Check(plan, e.Cat); err != nil {
+			return nil, fmt.Errorf("tango: plan check before build: %w", err)
+		}
+	}
 	e.transfersM = nil
 	e.transfersD = nil
 	e.shared = map[string]*xxl.SharedSource{}
 	e.root = nil
-	return e.buildMW(plan)
+	it, err := e.buildMW(plan)
+	if err != nil {
+		return nil, err
+	}
+	if e.CheckPlans {
+		if cerr := planck.CheckIterator(plan, e.Cat, it.Schema()); cerr != nil {
+			_ = it.Close() // not yet opened; release eagerly-built state
+			return nil, fmt.Errorf("tango: plan check after build: %w", cerr)
+		}
+	}
+	return it, nil
 }
 
 // Run builds and drains the plan, returning the materialized result.

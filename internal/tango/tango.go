@@ -10,6 +10,7 @@ import (
 	"tango/internal/client"
 	"tango/internal/cost"
 	"tango/internal/optimizer"
+	"tango/internal/planck"
 	"tango/internal/rel"
 	"tango/internal/server"
 	"tango/internal/sqlgen"
@@ -31,6 +32,11 @@ type Middleware struct {
 
 	// Alpha is the feedback adaptation rate (0 disables adaptation).
 	Alpha float64
+
+	// CheckPlans enables the planck runtime plan validator on every
+	// optimized plan and every executor build (debug mode; on in all
+	// tests via the bench harness).
+	CheckPlans bool
 
 	// Metrics, when set, receives middleware telemetry: per-operator
 	// series (engine="mw"), optimizer search statistics, per-operator
@@ -62,6 +68,9 @@ type Options struct {
 	// Metrics attaches a telemetry registry to the middleware (see
 	// Middleware.Metrics); nil disables metrics.
 	Metrics *telemetry.Registry
+	// CheckPlans turns on the planck plan validator (see
+	// Middleware.CheckPlans).
+	CheckPlans bool
 }
 
 // Open connects the middleware to a DBMS server.
@@ -81,13 +90,14 @@ func Open(srv *server.Server, opts Options) *Middleware {
 		alpha = 0.2
 	}
 	return &Middleware{
-		Conn:    conn,
-		Cat:     cat,
-		Est:     est,
-		Model:   model,
-		Opt:     optimizer.New(cat, model),
-		Alpha:   alpha,
-		Metrics: opts.Metrics,
+		Conn:       conn,
+		Cat:        cat,
+		Est:        est,
+		Model:      model,
+		Opt:        optimizer.New(cat, model),
+		Alpha:      alpha,
+		Metrics:    opts.Metrics,
+		CheckPlans: opts.CheckPlans,
 	}
 }
 
@@ -126,6 +136,11 @@ func (m *Middleware) timedOptimize(initial *algebra.Node, root *telemetry.Span) 
 	sp.SetInt("elements", int64(res.Elements))
 	sp.SetInt("plans", int64(len(res.Candidates)))
 	sp.SetFloat("cost", res.BestCost)
+	if m.CheckPlans {
+		if cerr := planck.Check(res.Best, m.Cat); cerr != nil {
+			return nil, elapsed, fmt.Errorf("tango: optimizer chose an invalid plan: %w", cerr)
+		}
+	}
 	m.recordOptimizer(res, elapsed)
 	return res, elapsed, nil
 }
@@ -152,12 +167,13 @@ func (m *Middleware) recordOptimizer(res *optimizer.Result, elapsed time.Duratio
 // timings), or when analyze is forced.
 func (m *Middleware) newExecutor(root *telemetry.Span, analyze bool) *Executor {
 	return &Executor{
-		Conn:    m.Conn,
-		Cat:     m.Cat,
-		Metrics: m.Metrics,
-		Analyze: analyze || m.Alpha > 0,
-		Trace:   root,
-		IOProbe: m.IOProbe,
+		Conn:       m.Conn,
+		Cat:        m.Cat,
+		Metrics:    m.Metrics,
+		Analyze:    analyze || m.Alpha > 0,
+		Trace:      root,
+		IOProbe:    m.IOProbe,
+		CheckPlans: m.CheckPlans,
 	}
 }
 

@@ -1,0 +1,114 @@
+// Fuzz target for the temporal SQL front end. Lives in an external
+// test package so it can seed its corpus from the evaluation workload
+// in internal/bench (which imports sqlparser, which tsql wraps).
+package tsql_test
+
+import (
+	"strings"
+	"testing"
+
+	"tango/internal/bench"
+	"tango/internal/tsql"
+	"tango/internal/types"
+)
+
+// uisCat mirrors the UIS schema the shell and benchmarks run against,
+// so fuzz inputs exercise the same name-resolution paths.
+type uisCat map[string]types.Schema
+
+func (c uisCat) TableSchema(name string) (types.Schema, error) {
+	if s, ok := c[strings.ToUpper(name)]; ok {
+		return s, nil
+	}
+	return types.Schema{}, &errNoTable{name}
+}
+
+type errNoTable struct{ name string }
+
+func (e *errNoTable) Error() string { return "no table " + e.name }
+
+func fuzzCatalog() uisCat {
+	return uisCat{
+		"POSITION": types.NewSchema(
+			types.Column{Name: "PosID", Kind: types.KindInt},
+			types.Column{Name: "EmpID", Kind: types.KindInt},
+			types.Column{Name: "EmpName", Kind: types.KindString},
+			types.Column{Name: "Dept", Kind: types.KindString},
+			types.Column{Name: "PayRate", Kind: types.KindFloat},
+			types.Column{Name: "T1", Kind: types.KindDate},
+			types.Column{Name: "T2", Kind: types.KindDate},
+		),
+		"EMPLOYEE": types.NewSchema(
+			types.Column{Name: "EmpID", Kind: types.KindInt},
+			types.Column{Name: "EmpName", Kind: types.KindString},
+			types.Column{Name: "Addr", Kind: types.KindString},
+			types.Column{Name: "T1", Kind: types.KindDate},
+			types.Column{Name: "T2", Kind: types.KindDate},
+		),
+	}
+}
+
+// tsqlSeeds are dialect edge cases beyond the workload: modifier
+// combinations, truncated modifiers, and near-miss keywords.
+var tsqlSeeds = []string{
+	"",
+	"VALIDTIME",
+	"VALIDTIME SELECT",
+	"VALIDTIMESELECT PosID FROM POSITION",
+	"VALIDTIME COALESCE",
+	"VALIDTIME COALESCE SELECT PosID, T1, T2 FROM POSITION",
+	"VALIDTIME AS OF",
+	"VALIDTIME AS OF DATE",
+	"VALIDTIME AS OF DATE '1996-06-01'",
+	"VALIDTIME AS OF DATE '1996-06-01' SELECT PosID FROM POSITION",
+	"VALIDTIME AS OF 'not a date' SELECT PosID FROM POSITION",
+	"VALIDTIME SELECT PosID FROM POSITION WHERE T1 < DATE '1990-01-01'",
+	"VALIDTIME SELECT A.PosID FROM POSITION A, POSITION B WHERE A.PosID = B.PosID",
+	"SELECT PosID FROM POSITION",
+}
+
+// FuzzParse asserts three properties for arbitrary input: the
+// translator never panics; success never yields a nil plan; and every
+// plan it does emit passes the algebra's own structural validation
+// (transfer-operator legality) — a malformed plan from the front end
+// would otherwise surface only deep inside the optimizer.
+func FuzzParse(f *testing.F) {
+	for _, q := range bench.SeedQueries {
+		f.Add(q)
+	}
+	for _, q := range tsqlSeeds {
+		f.Add(q)
+	}
+	cat := fuzzCatalog()
+	f.Fuzz(func(t *testing.T, src string) {
+		plan, err := tsql.Parse(src, cat)
+		if err != nil {
+			return
+		}
+		if plan == nil {
+			t.Fatalf("Parse(%q) returned nil plan and nil error", src)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("Parse(%q) produced an invalid plan: %v\n%s", src, err, plan)
+		}
+	})
+}
+
+// TestSeedQueriesTranslate pins the workload corpus against the UIS
+// catalog: every temporal seed must still translate to a valid plan.
+func TestSeedQueriesTranslate(t *testing.T) {
+	cat := fuzzCatalog()
+	for _, q := range bench.SeedQueries {
+		if !strings.HasPrefix(strings.ToUpper(q), "VALIDTIME") {
+			continue
+		}
+		plan, err := tsql.Parse(q, cat)
+		if err != nil {
+			t.Errorf("seed query no longer translates: %q: %v", q, err)
+			continue
+		}
+		if err := plan.Validate(); err != nil {
+			t.Errorf("seed query plan invalid: %q: %v", q, err)
+		}
+	}
+}

@@ -42,7 +42,8 @@ func Parse(src string, cat algebra.Catalog) (*algebra.Node, error) {
 	validtime := false
 	coalesce := false
 	var asOf *types.Value
-	if len(trimmed) >= 9 && strings.EqualFold(trimmed[:9], "VALIDTIME") {
+	if len(trimmed) >= 9 && strings.EqualFold(trimmed[:9], "VALIDTIME") &&
+		(len(trimmed) == 9 || isSpace(trimmed[9])) {
 		validtime = true
 		trimmed = strings.TrimSpace(trimmed[9:])
 		if len(trimmed) >= 8 && strings.EqualFold(trimmed[:8], "COALESCE") &&
@@ -52,9 +53,13 @@ func Parse(src string, cat algebra.Catalog) (*algebra.Node, error) {
 		}
 		if len(trimmed) >= 5 && strings.EqualFold(trimmed[:5], "AS OF") {
 			rest := strings.TrimSpace(trimmed[5:])
-			// The point is everything up to the SELECT keyword.
-			up := strings.ToUpper(rest)
-			idx := strings.Index(up, "SELECT")
+			// The point is everything up to the SELECT keyword. The
+			// search must fold case without re-mapping the string:
+			// strings.ToUpper can change byte offsets (e.g. invalid
+			// UTF-8 bytes become the 3-byte replacement rune), so an
+			// index found in the upper-cased copy cannot be used to
+			// slice the original.
+			idx := indexFold(rest, "SELECT")
 			if idx < 0 {
 				return nil, fmt.Errorf("tsql: AS OF requires a following SELECT")
 			}
@@ -81,6 +86,18 @@ func Parse(src string, cat algebra.Catalog) (*algebra.Node, error) {
 }
 
 func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// indexFold returns the byte offset in s of the first
+// case-insensitive occurrence of the ASCII keyword kw, or -1. Unlike
+// strings.Index over a ToUpper copy, the offset is valid in s itself.
+func indexFold(s, kw string) int {
+	for i := 0; i+len(kw) <= len(s); i++ {
+		if strings.EqualFold(s[i:i+len(kw)], kw) {
+			return i
+		}
+	}
+	return -1
+}
 
 // parsePoint parses the AS OF operand: a DATE literal or a bare
 // integer day number.

@@ -48,8 +48,10 @@ func NewSortDesc(in rel.Iterator, keys []int, descs []bool) *Sort {
 // Schema returns the input schema.
 func (s *Sort) Schema() types.Schema { return s.in.Schema() }
 
-// Open materializes and sorts the input, spilling if necessary.
-func (s *Sort) Open() error {
+// Open materializes and sorts the input, spilling if necessary. On
+// error the input iterator and any spilled run files are released; a
+// failed Open used to leak both.
+func (s *Sort) Open() (err error) {
 	if s.MemTuples <= 0 {
 		s.MemTuples = DefaultSortMemory
 	}
@@ -61,6 +63,16 @@ func (s *Sort) Open() error {
 	s.merger = nil
 
 	var runs []*os.File
+	inOpen := true
+	defer func() {
+		if err == nil {
+			return
+		}
+		if inOpen {
+			_ = s.in.Close() // error path: the original error wins
+		}
+		removeRuns(runs)
+	}()
 	buf := make([]types.Tuple, 0, 1024)
 	flushRun := func() error {
 		s.sortBuf(buf)
@@ -87,6 +99,7 @@ func (s *Sort) Open() error {
 			}
 		}
 	}
+	inOpen = false
 	if err := s.in.Close(); err != nil {
 		return err
 	}
@@ -101,7 +114,9 @@ func (s *Sort) Open() error {
 			return err
 		}
 	}
-	m, err := newRunMerger(runs, s.keys, s.descs)
+	handoff := runs
+	runs = nil // ownership moves to the merger, which cleans up on error
+	m, err := newRunMerger(handoff, s.keys, s.descs)
 	if err != nil {
 		return err
 	}
@@ -128,12 +143,15 @@ func (s *Sort) Next() (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
-// Close releases memory and temporary files.
+// Close releases memory and temporary files, reporting the first
+// temp-file error (a close/remove failure means disk is not being
+// reclaimed, which the caller should hear about).
 func (s *Sort) Close() error {
 	s.rows = nil
 	if s.merger != nil {
-		s.merger.close()
+		err := s.merger.close()
 		s.merger = nil
+		return err
 	}
 	return nil
 }
@@ -151,8 +169,7 @@ func writeRun(rows []types.Tuple) (*os.File, error) {
 		buf = types.EncodeTuple(buf, t)
 		if len(buf) >= 1<<16 {
 			if _, err := f.Write(buf); err != nil {
-				f.Close()
-				os.Remove(f.Name())
+				removeRuns([]*os.File{f})
 				return nil, err
 			}
 			buf = buf[:0]
@@ -160,17 +177,24 @@ func writeRun(rows []types.Tuple) (*os.File, error) {
 	}
 	if len(buf) > 0 {
 		if _, err := f.Write(buf); err != nil {
-			f.Close()
-			os.Remove(f.Name())
+			removeRuns([]*os.File{f})
 			return nil, err
 		}
 	}
 	if _, err := f.Seek(0, 0); err != nil {
-		f.Close()
-		os.Remove(f.Name())
+		removeRuns([]*os.File{f})
 		return nil, err
 	}
 	return f, nil
+}
+
+// removeRuns closes and deletes spilled run files on error paths; the
+// discarded errors cannot outrank the failure that got us here.
+func removeRuns(files []*os.File) {
+	for _, f := range files {
+		_ = f.Close()
+		_ = os.Remove(f.Name())
+	}
 }
 
 // runReader streams tuples back from a run file.
@@ -204,11 +228,14 @@ func (r *runReader) next() (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
-func (r *runReader) close() {
+func (r *runReader) close() error {
 	name := r.f.Name()
-	r.f.Close()
-	os.Remove(name)
+	err := r.f.Close()
+	if rerr := os.Remove(name); err == nil {
+		err = rerr
+	}
 	r.data = nil
+	return err
 }
 
 // --- k-way merge ---
@@ -249,10 +276,11 @@ type runMerger struct {
 
 func newRunMerger(files []*os.File, keys []int, descs []bool) (*runMerger, error) {
 	m := &runMerger{h: &mergeHeap{keys: keys, descs: descs}}
-	for _, f := range files {
+	for i, f := range files {
 		r, err := newRunReader(f)
 		if err != nil {
-			m.close()
+			_ = m.close()
+			removeRuns(files[i:]) // files not yet wrapped in readers
 			return nil, err
 		}
 		m.readers = append(m.readers, r)
@@ -260,7 +288,7 @@ func newRunMerger(files []*os.File, keys []int, descs []bool) (*runMerger, error
 	for i, r := range m.readers {
 		t, ok, err := r.next()
 		if err != nil {
-			m.close()
+			_ = m.close()
 			return nil, err
 		}
 		if ok {
@@ -286,11 +314,16 @@ func (m *runMerger) next() (types.Tuple, bool, error) {
 	return top.tuple, true, nil
 }
 
-func (m *runMerger) close() {
+func (m *runMerger) close() error {
+	var first error
 	for _, r := range m.readers {
-		if r != nil {
-			r.close()
+		if r == nil {
+			continue
+		}
+		if err := r.close(); first == nil {
+			first = err
 		}
 	}
 	m.readers = nil
+	return first
 }

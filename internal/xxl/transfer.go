@@ -48,9 +48,12 @@ func (t *TransferM) Open() error {
 		return fmt.Errorf("xxl: transfer^M: %w", err)
 	}
 	if rows.Schema().Len() != t.schema.Len() {
-		rows.Close()
-		return fmt.Errorf("xxl: transfer^M: got %d columns, expected %d (%s)",
+		err := fmt.Errorf("xxl: transfer^M: got %d columns, expected %d (%s)",
 			rows.Schema().Len(), t.schema.Len(), t.sql)
+		if cerr := rows.Close(); cerr != nil {
+			err = fmt.Errorf("%w (close: %v)", err, cerr)
+		}
+		return err
 	}
 	t.rows = rows
 	return nil
