@@ -5,7 +5,10 @@ GO ?= go
 # Fuzz smoke budget per target (ci runs each fuzzer this long).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz ci clean
+.PHONY: all build vet lint test race fuzz bench-smoke bench-json ci clean
+
+# Benchmark report written by bench-json.
+BENCHOUT ?= BENCH_3.json
 
 all: ci
 
@@ -34,10 +37,27 @@ fuzz:
 	$(GO) test ./internal/sqlparser/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/tsql/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 
+# bench-smoke runs every benchmark for a single iteration at both
+# GOMAXPROCS widths, so ci catches benchmarks that no longer compile
+# or crash without paying for real measurement.
+bench-smoke:
+	$(GO) test ./internal/bench/ -run '^$$' -bench 'Query1|SortM' -benchtime 1x -cpu 1,2
+	$(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime 1x
+
+# bench-json measures the sequential-vs-parallel query benchmarks
+# (-cpu 1,4: 1 = sequential algorithms, 4 = windowed fetch pipeline,
+# prefetched transfers, partitioned operators) plus the wire codec
+# benchmarks, and archives the parsed numbers — ns/op, B/op,
+# allocs/op, rows/s, and seq-vs-parallel speedups — in $(BENCHOUT).
+bench-json:
+	{ $(GO) test ./internal/bench/ -run '^$$' -bench 'Query1|SortM' -benchtime 5x -cpu 1,4; \
+	  $(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime 2000x; } | $(GO) run ./cmd/benchjson > $(BENCHOUT)
+
 # ci is the full verification gate: compile everything, vet, run the
-# project analyzers, smoke the fuzz targets, and run the test suite
-# under the race detector (tests also planck-check every plan).
-ci: build vet lint fuzz race
+# project analyzers, smoke the fuzz targets and the benchmarks, and
+# run the test suite under the race detector (tests also planck-check
+# every plan).
+ci: build vet lint fuzz race bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a JSON document on stdout, so benchmark runs can be archived
+// and diffed (`make bench-json` writes BENCH_3.json with it).
+//
+// Each benchmark line becomes one record carrying the iteration
+// count, ns/op, B/op, allocs/op, and any custom metrics (rows/s). The
+// `-cpu 1,N` convention used by the parallel suite is folded into a
+// speedup table: for every benchmark measured at GOMAXPROCS=1 and at
+// a higher width, speedup = ns/op(seq) / ns/op(widest).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Pkg         string             `json:"pkg,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the document written to stdout.
+type Report struct {
+	Goos    string             `json:"goos,omitempty"`
+	Goarch  string             `json:"goarch,omitempty"`
+	CPU     string             `json:"cpu,omitempty"`
+	Results []Result           `json:"results"`
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+}
+
+// parseLine parses one "BenchmarkFoo-4  10  123 ns/op ..." line.
+func parseLine(pkg, line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Pkg: pkg, Name: name, Procs: procs, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}
+
+func main() {
+	rep := Report{Speedup: map[string]float64{}}
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		default:
+			if r, ok := parseLine(pkg, line); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// Sequential-vs-parallel speedups: ns/op at procs=1 over ns/op at
+	// the widest measured procs.
+	type best struct {
+		seq   float64
+		par   float64
+		procs int
+	}
+	byName := map[string]*best{}
+	for _, r := range rep.Results {
+		b := byName[r.Name]
+		if b == nil {
+			b = &best{}
+			byName[r.Name] = b
+		}
+		if r.Procs == 1 {
+			b.seq = r.NsPerOp
+		} else if r.Procs > b.procs {
+			b.par, b.procs = r.NsPerOp, r.Procs
+		}
+	}
+	for name, b := range byName {
+		if b.seq > 0 && b.par > 0 {
+			rep.Speedup[fmt.Sprintf("%s@%d", name, b.procs)] = b.seq / b.par
+		}
+	}
+	if len(rep.Speedup) == 0 {
+		rep.Speedup = nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

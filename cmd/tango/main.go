@@ -31,6 +31,7 @@ func main() {
 	command := flag.String("c", "", "run one statement and exit (scriptable mode)")
 	metricsAddr := flag.String("metrics", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. "127.0.0.1:9090")`)
 	checkPlans := flag.Bool("checkplans", true, "validate every optimized plan and executor build with the planck plan checker")
+	parallelism := flag.Int("parallelism", 0, "middleware operator fan-out: 0 = GOMAXPROCS, 1 = sequential algorithms")
 	flag.Parse()
 
 	quiet := *command != ""
@@ -44,6 +45,7 @@ func main() {
 		Histograms:   20,
 		Calibrate:    *calibrate,
 		Metrics:      reg,
+		Parallelism:  *parallelism,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "boot:", err)

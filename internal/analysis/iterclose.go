@@ -16,8 +16,13 @@ import (
 //
 //   - early returns between a non-deferred Open and its Close, which
 //     leak the iterator on error paths (the fix is `defer X.Close()`);
-//   - calls to Next on an iterator after a loop that exhausted it,
-//     without an intervening re-Open.
+//   - calls to Next (or the batch protocol's NextBatch) on an iterator
+//     after a loop that exhausted it, without an intervening re-Open.
+//
+// NextBatch counts as a consuming use exactly like Next, so
+// batch-at-a-time consumers and the parallel iterator wrappers
+// (prefetchers, partitioned operators) are held to the same lifecycle
+// contract as tuple-at-a-time code.
 //
 // The analysis is intraprocedural, and receiver-field iterators are
 // exempt: an iterator stored in a struct field is closed by the
@@ -66,6 +71,7 @@ const (
 // iterUse is one classified occurrence of a tracked variable.
 type iterUse struct {
 	kind    iterUseKind
+	method  string // selector name for method-call uses ("Next", "NextBatch", ...)
 	pos     token.Pos
 	stmtEnd token.Pos // end of the enclosing block-level statement
 	defer_  bool
@@ -118,19 +124,23 @@ func checkIterBody(pass *Pass, body *ast.BlockStmt) {
 		}
 		t := track(obj)
 		kind := useEscape
+		method := ""
 		if sel != nil && call != nil {
-			switch sel.Sel.Name {
+			method = sel.Sel.Name
+			switch method {
 			case "Open":
 				kind = useOpen
 			case "Close":
 				kind = useClose
-			case "Next":
+			case "Next", "NextBatch":
+				// Both the tuple-at-a-time and the batch protocol consume
+				// the stream; an exhausted iterator is exhausted for both.
 				kind = useNext
 			default:
 				kind = useNeutral
 			}
 		}
-		t.uses = append(t.uses, iterUse{kind: kind, pos: id.Pos(), stmtEnd: stmtEnd, defer_: inDefer, inLoop: inLoop})
+		t.uses = append(t.uses, iterUse{kind: kind, method: method, pos: id.Pos(), stmtEnd: stmtEnd, defer_: inDefer, inLoop: inLoop})
 	}
 
 	// curStmt is the innermost *block-level* statement being visited;
@@ -424,8 +434,8 @@ func reportNextAfterLoop(pass *Pass, t *iterTrack, opens, nexts []iterUse) {
 				}
 			}
 			if !reopened {
-				pass.Reportf(after.pos, "%s.Next() after the consuming loop at line %d: the iterator is exhausted; re-Open it first",
-					t.name, pass.Fset.Position(consumed.pos).Line)
+				pass.Reportf(after.pos, "%s.%s() after the consuming loop at line %d: the iterator is exhausted; re-Open it first",
+					t.name, after.method, pass.Fset.Position(consumed.pos).Line)
 				return
 			}
 		}

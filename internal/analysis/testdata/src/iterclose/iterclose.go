@@ -107,3 +107,101 @@ func suppressed(c *conn) error {
 	_, _, nerr := rows.Next()
 	return nerr
 }
+
+// batchIter is shaped like a rel.BatchIterator: the cursor contract
+// plus the batch protocol. The analyzer treats NextBatch as a
+// consuming use exactly like Next.
+type batchIter struct{ done bool }
+
+func (*batchIter) Open() error                        { return nil }
+func (*batchIter) Close() error                       { return nil }
+func (*batchIter) Next() (tuple, bool, error)         { return nil, false, nil }
+func (*batchIter) NextBatch(dst []tuple) (int, error) { return 0, nil }
+
+// batchNeverClosed consumes through the batch protocol but never
+// closes; NextBatch must not read as an ownership escape.
+func batchNeverClosed() error {
+	it := &batchIter{}
+	if err := it.Open(); err != nil { // want `it is opened but never closed`
+		return err
+	}
+	buf := make([]tuple, 8)
+	_, err := it.NextBatch(buf)
+	return err
+}
+
+// batchNextAfterExhaustion drains with NextBatch, then asks for more
+// without re-opening.
+func batchNextAfterExhaustion() error {
+	it := &batchIter{}
+	if err := it.Open(); err != nil {
+		return err
+	}
+	defer it.Close()
+	buf := make([]tuple, 8)
+	for {
+		n, err := it.NextBatch(buf)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	_, err := it.NextBatch(buf) // want `it\.NextBatch\(\) after the consuming loop at line \d+`
+	return err
+}
+
+// batchDrained is the sanctioned batch-protocol shape: deferred close,
+// NextBatch loop to n == 0.
+func batchDrained() (int, error) {
+	it := &batchIter{}
+	if err := it.Open(); err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	buf := make([]tuple, 8)
+	total := 0
+	for {
+		n, err := it.NextBatch(buf)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	return total, it.Close()
+}
+
+// prefetcher is a parallel wrapper fixture: it owns a wrapped iterator
+// in a field (exempt — closed by the wrapper's own Close), and exposes
+// Unwrap like the real prefetch operator. Unwrap is a neutral use.
+type prefetcher struct{ in *batchIter }
+
+func (p *prefetcher) Open() error                { return p.in.Open() }
+func (p *prefetcher) Close() error               { return p.in.Close() }
+func (p *prefetcher) Next() (tuple, bool, error) { return p.in.Next() }
+func (p *prefetcher) Unwrap() *batchIter         { return p.in }
+
+// wrappedDrain opens a prefetch wrapper and closes only the wrapper;
+// peeking through Unwrap must not demand a second close.
+func wrappedDrain() error {
+	p := &prefetcher{in: &batchIter{}}
+	if err := p.Open(); err != nil {
+		return err
+	}
+	defer p.Close()
+	_ = p.Unwrap()
+	for {
+		_, ok, err := p.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+	}
+	return nil
+}

@@ -29,6 +29,9 @@ type System struct {
 	// Metrics is the registry wired through every layer (nil when
 	// Config.Metrics was nil).
 	Metrics *telemetry.Registry
+	// Parallelism is forwarded to every executor the harness builds
+	// (see tango.Executor.Parallelism; 0 = GOMAXPROCS).
+	Parallelism int
 
 	PositionRows int
 	EmployeeRows int
@@ -55,6 +58,9 @@ type Config struct {
 	// middleware's IOProbe is pointed at the embedded engine so query
 	// traces carry per-query I/O deltas.
 	Metrics *telemetry.Registry
+	// Parallelism bounds middleware operator fan-out (0 = GOMAXPROCS,
+	// 1 = sequential). Results are identical at any setting.
+	Parallelism int
 }
 
 // NewSystem builds, loads, and (optionally) calibrates a system.
@@ -65,6 +71,7 @@ func NewSystem(cfg Config) (*System, error) {
 		HistogramBuckets: cfg.Histograms,
 		Naive:            cfg.Naive,
 		Metrics:          cfg.Metrics,
+		Parallelism:      cfg.Parallelism,
 		// Every harness-driven run (and therefore every test) validates
 		// optimized plans and executor builds with planck.
 		CheckPlans: true,
@@ -93,6 +100,7 @@ func NewSystem(cfg Config) (*System, error) {
 		empRows = uis.EmployeeRows
 	}
 	return &System{DB: db, Srv: srv, MW: mw, Metrics: cfg.Metrics,
+		Parallelism:  cfg.Parallelism,
 		PositionRows: posRows, EmployeeRows: empRows}, nil
 }
 
@@ -119,7 +127,8 @@ func (m Measurement) Seconds() float64 { return m.Elapsed.Seconds() }
 
 // RunPlan executes a plan and times it.
 func (s *System) RunPlan(np NamedPlan) (*rel.Relation, time.Duration, error) {
-	ex := &tango.Executor{Conn: s.MW.Conn, Cat: s.MW.Cat, Hint: np.Hint, CheckPlans: true}
+	ex := &tango.Executor{Conn: s.MW.Conn, Cat: s.MW.Cat, Hint: np.Hint,
+		CheckPlans: true, Parallelism: s.Parallelism}
 	start := time.Now()
 	out, err := ex.Run(np.Plan.Clone())
 	return out, time.Since(start), err

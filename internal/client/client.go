@@ -8,6 +8,7 @@ package client
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -77,6 +78,22 @@ func (c *Conn) Query(sql string) (*Rows, error) {
 	return &Rows{conn: c, cur: cur, schema: cur.Schema().Unqualified(), start: start, sql: sql}, nil
 }
 
+// QueryWindowed is Query with a pipelined fetch window: up to window
+// FETCH round trips are outstanding at once, so the wire latency of
+// consecutive batches overlaps instead of accumulating (the cursor
+// still produces batches strictly in order). window <= 1 degenerates
+// to the synchronous Query path.
+func (c *Conn) QueryWindowed(sql string, window int) (*Rows, error) {
+	r, err := c.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	if window > 1 {
+		r.startPipeline(window)
+	}
+	return r, nil
+}
+
 // Rows iterates a query result fetched in batches over the wire.
 type Rows struct {
 	conn   *Conn
@@ -88,8 +105,112 @@ type Rows struct {
 	pos   int
 	done  bool
 
+	win *fetchPipeline // non-nil in windowed mode
+
 	start time.Time
 	fb    Feedback
+}
+
+// fetchPipeline is the windowed-fetch machinery: a requester goroutine
+// issues FETCHes back to back against the serial cursor, and each
+// reply's wire delay is slept in its own delivery goroutine, so up to
+// `window` round trips are in flight concurrently. Replies are
+// reassembled in issue order through a queue of single-use futures.
+type fetchPipeline struct {
+	slots chan chan inflight // futures, in fetch order
+	free  chan []byte        // encode buffers on loan to in-flight replies
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// inflight is one decoded reply.
+type inflight struct {
+	rows  []types.Tuple
+	bytes int
+	err   error
+}
+
+// startPipeline launches the requester with the given window.
+func (r *Rows) startPipeline(window int) {
+	p := &fetchPipeline{
+		slots: make(chan chan inflight, window),
+		free:  make(chan []byte, window+1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < window+1; i++ {
+		p.free <- wire.GetBuf()
+	}
+	r.win = p
+	go r.requester(p)
+}
+
+// requester drives the pipelined cursor until end of stream, error,
+// or stop. The final future (nil rows) carries the error/EOS signal,
+// after which the slot queue is closed.
+func (r *Rows) requester(p *fetchPipeline) {
+	defer close(p.done)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		var buf []byte
+		select {
+		case <-p.stop:
+			return
+		case buf = <-p.free:
+		}
+		payload, delay, err := r.cur.FetchBatchPipelined(buf)
+		res := make(chan inflight, 1)
+		select {
+		case <-p.stop:
+			p.free <- buf // never blocks: window+1 buffers, window+1 slots
+			return
+		case p.slots <- res:
+		}
+		if err != nil || payload == nil {
+			p.free <- buf
+			res <- inflight{err: err}
+			close(p.slots)
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Propagation: the reply is on the wire while later
+			// fetches are issued and earlier batches are consumed.
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			rows, derr := wire.DecodeBatch(payload)
+			res <- inflight{rows: rows, bytes: len(payload), err: derr}
+			// EncodeBatch may have grown the buffer; recycle the
+			// backing array actually used.
+			p.free <- payload[:0]
+		}()
+	}
+}
+
+// fetchWindowed installs the next in-order pipelined batch.
+func (r *Rows) fetchWindowed() error {
+	res, ok := <-r.win.slots
+	if !ok {
+		r.done = true
+		r.finish()
+		return nil
+	}
+	b := <-res
+	if b.err != nil {
+		return b.err
+	}
+	if b.rows == nil {
+		r.done = true
+		r.finish()
+		return nil
+	}
+	r.fb.Bytes += int64(b.bytes)
+	r.batch = b.rows
+	r.pos = 0
+	return nil
 }
 
 // Schema returns the result schema (unqualified column names, as a
@@ -112,27 +233,84 @@ func (r *Rows) Next() (types.Tuple, bool, error) {
 		if r.done {
 			return nil, false, nil
 		}
-		payload, err := r.cur.FetchBatch()
-		if err != nil {
+		if err := r.fetch(); err != nil {
 			return nil, false, err
 		}
-		if payload == nil {
-			r.done = true
-			r.finish()
+		if r.done {
 			return nil, false, nil
 		}
-		r.fb.Bytes += int64(len(payload))
-		batch, err := wire.DecodeBatch(payload)
-		if err != nil {
-			return nil, false, err
-		}
-		r.batch = batch
-		r.pos = 0
 	}
 }
 
-// Close releases the server cursor.
+// fetch pulls and decodes the next wire batch, reusing the row-header
+// slice across fetches (the tuples themselves are fresh allocations, so
+// consumers that retain them are unaffected). Sets done at end of
+// stream. In windowed mode it takes the next in-order batch from the
+// pipeline instead.
+func (r *Rows) fetch() error {
+	if r.win != nil {
+		return r.fetchWindowed()
+	}
+	payload, err := r.cur.FetchBatch()
+	if err != nil {
+		return err
+	}
+	if payload == nil {
+		r.done = true
+		r.finish()
+		return nil
+	}
+	r.fb.Bytes += int64(len(payload))
+	batch, err := wire.DecodeBatchInto(r.batch[:0], payload)
+	if err != nil {
+		return err
+	}
+	r.batch = batch
+	r.pos = 0
+	return nil
+}
+
+// NextBatch exposes the wire fetch granularity to the middleware's
+// batch protocol: one call hands over (up to) a whole decoded fetch
+// batch, paying zero per-tuple interface calls.
+func (r *Rows) NextBatch(dst []types.Tuple) (int, error) {
+	for {
+		if r.pos < len(r.batch) {
+			n := copy(dst, r.batch[r.pos:])
+			r.pos += n
+			r.fb.Rows += int64(n)
+			return n, nil
+		}
+		if r.done {
+			return 0, nil
+		}
+		if err := r.fetch(); err != nil {
+			return 0, err
+		}
+		if r.done {
+			return 0, nil
+		}
+	}
+}
+
+// Close stops the fetch pipeline (waiting for in-flight replies, so
+// the serial cursor is quiescent), recycles its wire buffers, and
+// releases the server cursor.
 func (r *Rows) Close() error {
+	if p := r.win; p != nil {
+		r.win = nil
+		close(p.stop)
+		<-p.done
+		for {
+			select {
+			case buf := <-p.free:
+				wire.PutBuf(buf)
+				continue
+			default:
+			}
+			break
+		}
+	}
 	if !r.done {
 		r.done = true
 		r.finish()
@@ -191,7 +369,8 @@ func Mangle(name string) string {
 // loader, returning transfer feedback.
 func (c *Conn) Load(table string, rows []types.Tuple) (Feedback, error) {
 	start := time.Now()
-	payload := wire.EncodeBatch(nil, rows)
+	payload := wire.EncodeBatch(wire.GetBuf(), rows)
+	defer wire.PutBuf(payload)
 	n, err := c.srv.Load(table, payload)
 	if err != nil {
 		return Feedback{}, err
@@ -210,7 +389,8 @@ func (c *Conn) Load(table string, rows []types.Tuple) (Feedback, error) {
 // path, for the ablation experiment).
 func (c *Conn) InsertRows(table string, rows []types.Tuple) (Feedback, error) {
 	start := time.Now()
-	payload := wire.EncodeBatch(nil, rows)
+	payload := wire.EncodeBatch(wire.GetBuf(), rows)
+	defer wire.PutBuf(payload)
 	n, err := c.srv.InsertRows(table, payload)
 	if err != nil {
 		return Feedback{}, err

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"tango/internal/engine"
+	"tango/internal/rel"
+	"tango/internal/server"
+	"tango/internal/types"
+	"tango/internal/wire"
+)
+
+// windowConn loads a POSITION table with rows versions through the
+// bulk loader and returns a connection with the given wire latency.
+func windowConn(t *testing.T, rows int, lat wire.Latency) *Conn {
+	t.Helper()
+	db := engine.Open(engine.Config{})
+	srv := server.New(db, wire.Latency{})
+	c := Connect(srv)
+	if _, err := c.Exec("CREATE TABLE POSITION (PosID INTEGER, EmpName VARCHAR(40), T1 INTEGER, T2 INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	tuples := make([]types.Tuple, rows)
+	for i := range tuples {
+		tuples[i] = types.Tuple{
+			types.Int(int64(i / 4)),
+			types.Str(fmt.Sprintf("emp-%d", i%97)),
+			types.Int(int64(i % 50)),
+			types.Int(int64(50 + i%50)),
+		}
+	}
+	if _, err := c.Load("POSITION", tuples); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLatency(lat)
+	return c
+}
+
+// leakCheck snapshots the goroutine count and verifies (with a grace
+// period) that it returns to the baseline.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestQueryWindowedMatchesSync drains the same statement through the
+// synchronous and pipelined fetch paths across window and prefetch
+// settings; the streams must be tuple-for-tuple identical and the
+// transfer feedback must agree on rows and bytes.
+func TestQueryWindowedMatchesSync(t *testing.T) {
+	defer leakCheck(t)()
+	c := windowConn(t, 1000, wire.Latency{RoundTrip: 100 * time.Microsecond})
+	const sql = "SELECT PosID, EmpName, T1, T2 FROM POSITION ORDER BY PosID, T1"
+	ref, refFB, err := c.QueryAll(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prefetch := range []int{7, 64, 256} {
+		for _, window := range []int{2, 4, 8} {
+			c.Prefetch = prefetch
+			rows, err := c.QueryWindowed(sql, window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rel.Drain(rows)
+			if err != nil {
+				t.Fatalf("prefetch %d window %d: %v", prefetch, window, err)
+			}
+			if !rel.EqualAsLists(got, ref) {
+				t.Fatalf("prefetch %d window %d: pipelined stream differs from sync", prefetch, window)
+			}
+			fb := rows.Feedback()
+			if fb.Rows != refFB.Rows || fb.Bytes == 0 {
+				t.Errorf("prefetch %d window %d: feedback %+v, want %d rows", prefetch, window, fb, refFB.Rows)
+			}
+		}
+	}
+	c.Prefetch = 0
+}
+
+// TestQueryWindowedEarlyClose abandons pipelined streams at several
+// depths — before the first batch, mid-stream, and after exhaustion —
+// and verifies every requester and delivery goroutine joins.
+func TestQueryWindowedEarlyClose(t *testing.T) {
+	defer leakCheck(t)()
+	c := windowConn(t, 1000, wire.Latency{RoundTrip: 200 * time.Microsecond})
+	c.Prefetch = 32
+	for round := 0; round < 20; round++ {
+		rows, err := c.QueryWindowed("SELECT PosID, T1, T2 FROM POSITION", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10*round; i++ {
+			if _, ok, err := rows.Next(); err != nil {
+				t.Fatal(err)
+			} else if !ok {
+				break
+			}
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Close is idempotent even with the pipeline torn down.
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQueryWindowedDegenerate checks that window <= 1 stays on the
+// synchronous path (no pipeline machinery is started).
+func TestQueryWindowedDegenerate(t *testing.T) {
+	defer leakCheck(t)()
+	c := windowConn(t, 100, wire.Latency{})
+	for _, window := range []int{-1, 0, 1} {
+		rows, err := c.QueryWindowed("SELECT PosID FROM POSITION", window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.win != nil {
+			t.Fatalf("window %d: pipeline unexpectedly started", window)
+		}
+		got, err := rel.Drain(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cardinality() != 100 {
+			t.Fatalf("window %d: %d rows", window, got.Cardinality())
+		}
+	}
+}

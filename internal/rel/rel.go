@@ -140,22 +140,39 @@ func (it *sliceIter) Next() (types.Tuple, bool, error) {
 }
 
 // Drain materializes an iterator into a relation, opening and closing
-// it. Tuples are cloned so the result owns its memory.
+// it. Tuples are cloned so the result owns its memory. Batch-native
+// iterators are drained a batch at a time.
 func Drain(it Iterator) (*Relation, error) {
 	out := New(it.Schema())
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
 	defer it.Close()
-	for {
-		t, ok, err := it.Next()
-		if err != nil {
-			return nil, err
+	if b, ok := it.(BatchIterator); ok {
+		dst := make([]types.Tuple, DefaultBatchSize)
+		for {
+			n, err := b.NextBatch(dst)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				out.Append(dst[i].Clone())
+			}
 		}
-		if !ok {
-			break
+	} else {
+		for {
+			t, ok, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			out.Append(t.Clone())
 		}
-		out.Append(t.Clone())
 	}
 	if err := it.Close(); err != nil {
 		return nil, err

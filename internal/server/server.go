@@ -7,6 +7,7 @@ package server
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"tango/internal/engine"
 	"tango/internal/meta"
@@ -88,20 +89,23 @@ type Cursor struct {
 	it       rel.Iterator
 	prefetch int
 	done     bool
-	buf      []byte
+	buf      []byte        // pooled encode scratch, returned on Close
+	rows     []types.Tuple // row-header scratch reused across fetches
 }
 
 // Schema returns the result schema.
 func (c *Cursor) Schema() types.Schema { return c.it.Schema() }
 
-// FetchBatch produces the next serialized batch of up to prefetch
-// rows. It returns nil when the result is exhausted. The returned
-// slice is only valid until the next call.
-func (c *Cursor) FetchBatch() ([]byte, error) {
+// produce pulls the next batch of up to prefetch rows from the
+// result iterator, returning nil at end of stream.
+func (c *Cursor) produce() ([]types.Tuple, error) {
 	if c.done {
 		return nil, nil
 	}
-	rows := make([]types.Tuple, 0, c.prefetch)
+	if c.rows == nil {
+		c.rows = make([]types.Tuple, 0, c.prefetch)
+	}
+	rows := c.rows[:0]
 	for len(rows) < c.prefetch {
 		t, ok, err := c.it.Next()
 		if err != nil {
@@ -113,18 +117,56 @@ func (c *Cursor) FetchBatch() ([]byte, error) {
 		}
 		rows = append(rows, t)
 	}
+	c.rows = rows
 	if len(rows) == 0 {
 		return nil, nil
 	}
 	atomic.AddInt64(&c.srv.rowsOut, int64(len(rows)))
+	return rows, nil
+}
+
+// FetchBatch produces the next serialized batch of up to prefetch
+// rows. It returns nil when the result is exhausted. The returned
+// slice is only valid until the next call.
+func (c *Cursor) FetchBatch() ([]byte, error) {
+	rows, err := c.produce()
+	if err != nil || rows == nil {
+		return nil, err
+	}
+	if c.buf == nil {
+		c.buf = wire.GetBuf()
+	}
 	c.buf = wire.EncodeBatch(c.buf[:0], rows)
 	c.srv.lat.Charge(len(c.buf))
 	return c.buf, nil
 }
 
-// Close releases the cursor.
+// FetchBatchPipelined is FetchBatch for windowed clients. It encodes
+// the next batch into dst (caller-owned, so several replies can be in
+// flight at once) and returns the reply's wire delay instead of
+// sleeping it: batch production stays serial — the cursor is a serial
+// stream — but the caller charges each reply's propagation in its own
+// goroutine, overlapping consecutive round trips exactly as a
+// pipelined wire protocol with several outstanding FETCH requests
+// does. A nil payload means end of stream.
+func (c *Cursor) FetchBatchPipelined(dst []byte) ([]byte, time.Duration, error) {
+	rows, err := c.produce()
+	if err != nil || rows == nil {
+		return nil, 0, err
+	}
+	payload := wire.EncodeBatch(dst[:0], rows)
+	return payload, c.srv.lat.Wire(len(payload)), nil
+}
+
+// Close releases the cursor and returns its pooled encode buffer. The
+// payload returned by the last FetchBatch must not be used after Close.
 func (c *Cursor) Close() error {
 	c.done = true
+	if c.buf != nil {
+		wire.PutBuf(c.buf)
+		c.buf = nil
+	}
+	c.rows = nil
 	return c.it.Close()
 }
 

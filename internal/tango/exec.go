@@ -6,6 +6,7 @@ package tango
 
 import (
 	"fmt"
+	"runtime"
 
 	"tango/internal/algebra"
 	"tango/internal/client"
@@ -41,6 +42,19 @@ type Executor struct {
 	// iterator's schema is asserted against the algebra's derivation
 	// afterwards. The bench harness keeps this on for all tests.
 	CheckPlans bool
+	// Parallelism bounds the worker fan-out of the middleware
+	// operators: parallel SORT^M run generation, partitioned TAGGR^M
+	// and merge joins, and double-buffered T^M prefetching. 0 resolves
+	// to runtime.GOMAXPROCS(0); 1 forces the sequential algorithms.
+	// Results are tuple-for-tuple identical at any setting — every
+	// parallel operator preserves the sequential output order.
+	Parallelism int
+	// SortMemory overrides the middleware sort's in-memory run size in
+	// tuples (the paper's middleware memory budget); 0 keeps
+	// xxl.DefaultSortMemory. Smaller budgets spill more runs, which the
+	// parallel sort generates in the background while the input drain
+	// continues.
+	SortMemory int
 
 	// Metrics, when set, enables per-operator instrumentation and
 	// flushes the measured operator tree into the registry after each
@@ -62,6 +76,30 @@ type Executor struct {
 	transfersD []*xxl.TransferD
 	shared     map[string]*xxl.SharedSource
 	root       *telemetry.Iter
+	parStats   []xxl.ParallelStats
+}
+
+// par resolves the effective worker bound.
+func (e *Executor) par() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// observeParallel collects one operator's parallel shape (workers,
+// partitions, skew) for the execute span and exports it as registry
+// series. Callbacks fire on the goroutine driving the query.
+func (e *Executor) observeParallel(s xxl.ParallelStats) {
+	e.parStats = append(e.parStats, s)
+	if e.Metrics == nil {
+		return
+	}
+	l := telemetry.Labels{"op": s.Op}
+	e.Metrics.Gauge("tango_parallel_workers", l).Set(float64(s.Workers))
+	e.Metrics.Histogram("tango_parallel_partitions", l, telemetry.CountBuckets).Observe(float64(s.Partitions))
+	e.Metrics.Gauge("tango_parallel_skew_last", l).Set(s.Skew())
+	e.Metrics.Counter("tango_parallel_rows_total", l).Add(s.Rows)
 }
 
 // Build compiles the plan into an iterator. The plan root must be
@@ -82,6 +120,7 @@ func (e *Executor) Build(plan *algebra.Node) (rel.Iterator, error) {
 	e.transfersD = nil
 	e.shared = map[string]*xxl.SharedSource{}
 	e.root = nil
+	e.parStats = nil
 	it, err := e.buildMW(plan)
 	if err != nil {
 		return nil, err
@@ -130,6 +169,13 @@ func (e *Executor) Run(plan *algebra.Node) (*rel.Relation, error) {
 		c.SetInt("rows", fb.Rows)
 		c.SetInt("bytes", fb.Bytes)
 		c.Set("sql", abbreviate(fb.SQL, 48))
+	}
+	for _, ps := range e.parStats {
+		c := se.AddChild("parallel", 0)
+		c.Set("op", ps.Op)
+		c.SetInt("workers", int64(ps.Workers))
+		c.SetInt("partitions", int64(ps.Partitions))
+		c.SetFloat("skew", ps.Skew())
 	}
 	se.Finish()
 	if e.Metrics != nil && e.root != nil {
@@ -231,7 +277,15 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.instrument(n, xxl.NewSort(in, keys), in), nil
+		srt := xxl.NewSort(in, keys)
+		if e.SortMemory > 0 {
+			srt.MemTuples = e.SortMemory
+		}
+		if p := e.par(); p > 1 {
+			srt.Parallelism = p
+			srt.OnStats = e.observeParallel
+		}
+		return e.instrument(n, srt, in), nil
 
 	case algebra.OpJoin, algebra.OpTJoin:
 		left, err := e.buildMW(n.Left)
@@ -251,12 +305,22 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 			return nil, err
 		}
 		if n.Op == algebra.OpJoin {
+			if p := e.par(); p > 1 {
+				pj := xxl.NewPMergeJoin(left, right, lkeys, rkeys, p)
+				pj.OnStats = e.observeParallel
+				return e.instrument(n, pj, left, right), nil
+			}
 			return e.instrument(n, xxl.NewMergeJoin(left, right, lkeys, rkeys), left, right), nil
 		}
 		lt1, lt2 := algebra.TimeColumns(left.Schema())
 		rt1, rt2 := algebra.TimeColumns(right.Schema())
 		if lt1 < 0 || lt2 < 0 || rt1 < 0 || rt2 < 0 {
 			return nil, fmt.Errorf("tango: temporal join inputs lack T1/T2")
+		}
+		if p := e.par(); p > 1 {
+			ptj := xxl.NewPTJoin(left, right, lkeys, rkeys, lt1, lt2, rt1, rt2, p)
+			ptj.OnStats = e.observeParallel
+			return e.instrument(n, ptj, left, right), nil
 		}
 		tj := xxl.NewTJoin(left, right, lkeys, rkeys, lt1, lt2, rt1, rt2)
 		return e.instrument(n, tj, left, right), nil
@@ -290,6 +354,11 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 				spec.Col = j
 			}
 			aggs[i] = spec
+		}
+		if p := e.par(); p > 1 {
+			pta := xxl.NewPTAggr(in, groupBy, t1, t2, aggs, outSchema, p)
+			pta.OnStats = e.observeParallel
+			return e.instrument(n, pta, in), nil
 		}
 		ta := xxl.NewTAggr(in, groupBy, t1, t2, aggs, outSchema)
 		return e.instrument(n, ta, in), nil
@@ -364,6 +433,12 @@ func (e *Executor) buildTM(n *algebra.Node) (rel.Iterator, error) {
 		return nil, err
 	}
 	tm := xxl.NewTransferM(e.Conn, sql, schema, deps...)
+	if p := e.par(); p > 1 {
+		// Pipelined fetch: keep up to p FETCH round trips in flight so
+		// the wire latency of consecutive batches overlaps instead of
+		// accumulating.
+		tm.Window = p
+	}
 	e.transfersM = append(e.transfersM, tm)
 	// §7 refinement: identical transfer statements (no T^D
 	// dependencies) are issued once per plan execution.
@@ -375,7 +450,17 @@ func (e *Executor) buildTM(n *algebra.Node) (rel.Iterator, error) {
 		e.shared[sql] = src
 		return e.instrument(n, src.Reader()), nil
 	}
-	return e.instrument(n, tm, tdIters...), nil
+	var it rel.Iterator = tm
+	if e.par() > 1 {
+		// Double-buffer the transfer: a worker prefetches the next wire
+		// batch while the middleware consumes the current one, hiding
+		// round-trip latency. Shared sources skip this — they
+		// materialize once anyway.
+		pf := xxl.NewPrefetch(tm)
+		pf.OnStats = e.observeParallel
+		it = pf
+	}
+	return e.instrument(n, it, tdIters...), nil
 }
 
 func colIndexes(s types.Schema, names []string) ([]int, error) {

@@ -38,6 +38,12 @@ type Middleware struct {
 	// tests via the bench harness).
 	CheckPlans bool
 
+	// Parallelism bounds the middleware operators' worker fan-out (see
+	// Executor.Parallelism): 0 resolves to runtime.GOMAXPROCS(0), 1
+	// forces the sequential algorithms. Results are identical at any
+	// setting.
+	Parallelism int
+
 	// Metrics, when set, receives middleware telemetry: per-operator
 	// series (engine="mw"), optimizer search statistics, per-operator
 	// cardinality drift (Q-error), and query counters. It is also
@@ -71,6 +77,9 @@ type Options struct {
 	// CheckPlans turns on the planck plan validator (see
 	// Middleware.CheckPlans).
 	CheckPlans bool
+	// Parallelism bounds middleware operator fan-out (see
+	// Middleware.Parallelism); 0 means runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 // Open connects the middleware to a DBMS server.
@@ -90,14 +99,15 @@ func Open(srv *server.Server, opts Options) *Middleware {
 		alpha = 0.2
 	}
 	return &Middleware{
-		Conn:       conn,
-		Cat:        cat,
-		Est:        est,
-		Model:      model,
-		Opt:        optimizer.New(cat, model),
-		Alpha:      alpha,
-		Metrics:    opts.Metrics,
-		CheckPlans: opts.CheckPlans,
+		Conn:        conn,
+		Cat:         cat,
+		Est:         est,
+		Model:       model,
+		Opt:         optimizer.New(cat, model),
+		Alpha:       alpha,
+		Metrics:     opts.Metrics,
+		CheckPlans:  opts.CheckPlans,
+		Parallelism: opts.Parallelism,
 	}
 }
 
@@ -167,13 +177,14 @@ func (m *Middleware) recordOptimizer(res *optimizer.Result, elapsed time.Duratio
 // timings), or when analyze is forced.
 func (m *Middleware) newExecutor(root *telemetry.Span, analyze bool) *Executor {
 	return &Executor{
-		Conn:       m.Conn,
-		Cat:        m.Cat,
-		Metrics:    m.Metrics,
-		Analyze:    analyze || m.Alpha > 0,
-		Trace:      root,
-		IOProbe:    m.IOProbe,
-		CheckPlans: m.CheckPlans,
+		Conn:        m.Conn,
+		Cat:         m.Cat,
+		Metrics:     m.Metrics,
+		Analyze:     analyze || m.Alpha > 0,
+		Trace:       root,
+		IOProbe:     m.IOProbe,
+		CheckPlans:  m.CheckPlans,
+		Parallelism: m.Parallelism,
 	}
 }
 

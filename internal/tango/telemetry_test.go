@@ -7,6 +7,7 @@ import (
 
 	"tango/internal/client"
 	"tango/internal/engine"
+	"tango/internal/rel"
 	"tango/internal/server"
 	"tango/internal/storage"
 	"tango/internal/telemetry"
@@ -69,8 +70,11 @@ func TestExecutorExecStats(t *testing.T) {
 	if st.Rows != int64(out.Cardinality()) {
 		t.Errorf("root rows = %d, result = %d", st.Rows, out.Cardinality())
 	}
-	if st.Nexts != st.Rows+1 {
-		t.Errorf("root nexts = %d, want rows+1 = %d", st.Nexts, st.Rows+1)
+	// The executor drains the root a batch at a time: one Next-equivalent
+	// per full batch plus the EOS probe.
+	wantNexts := (st.Rows+rel.DefaultBatchSize-1)/rel.DefaultBatchSize + 1
+	if st.Nexts != wantNexts {
+		t.Errorf("root nexts = %d, want %d (batch accounting for %d rows)", st.Nexts, wantNexts, st.Rows)
 	}
 	seen := map[string]*telemetry.OpStats{}
 	st.Walk(func(s *telemetry.OpStats) { seen[s.Op] = s })

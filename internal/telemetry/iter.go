@@ -159,6 +159,40 @@ func (it *Iter) Next() (types.Tuple, bool, error) {
 	return t, ok, err
 }
 
+// NextBatch forwards the batch protocol through the instrumentation,
+// so measured pipelines keep their batch fast paths: the wrapped
+// iterator's NextBatch is used when it has one, one Next-equivalent
+// call is counted per batch, and rows/bytes are attributed exactly as
+// the tuple path would. When the wrapped operator is tuple-at-a-time,
+// the tuples are passed through unchanged (no clone); batch validity is
+// then whatever the operator provides, which for every operator in this
+// codebase is a fresh or owned tuple.
+func (it *Iter) NextBatch(dst []types.Tuple) (int, error) {
+	start := time.Now()
+	var n int
+	var err error
+	if b, ok := it.in.(rel.BatchIterator); ok {
+		n, err = b.NextBatch(dst)
+	} else {
+		for n < len(dst) {
+			t, ok2, e := it.in.Next()
+			if e != nil || !ok2 {
+				err = e
+				break
+			}
+			dst[n] = t
+			n++
+		}
+	}
+	it.stats.Time += time.Since(start)
+	it.stats.Nexts++
+	it.stats.Rows += int64(n)
+	for i := 0; i < n; i++ {
+		it.stats.Bytes += int64(dst[i].ByteSize())
+	}
+	return n, err
+}
+
 // Close closes the wrapped iterator and flushes the stats to the Sink
 // (once).
 func (it *Iter) Close() error {

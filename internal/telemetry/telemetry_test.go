@@ -183,7 +183,9 @@ func TestInstrumentedIter(t *testing.T) {
 		t.Fatalf("rows = %d, want 10", out.Cardinality())
 	}
 	st := parent.Stats()
-	if st.Rows != 10 || st.Nexts != 11 || st.Opens != 1 {
+	// Drain uses the batch protocol through the instrumentation: one
+	// Next-equivalent per batch (one full batch, one EOS probe).
+	if st.Rows != 10 || st.Nexts != 2 || st.Opens != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 	if st.Bytes <= 0 {

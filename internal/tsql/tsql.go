@@ -334,6 +334,7 @@ func build(sel *sqlast.SelectStmt, validtime bool, asOf *types.Value, cat algebr
 			return nil, fmt.Errorf("tsql: expression select items are not supported: %s", item.Expr)
 		}
 	}
+	projected := false
 	if !star && len(cols) > 0 {
 		if len(sel.GroupBy) > 0 {
 			// Temporal results always carry their period.
@@ -346,6 +347,7 @@ func build(sel *sqlast.SelectStmt, validtime bool, asOf *types.Value, cat algebr
 		}
 		if validCols(cols, curSchema) {
 			cur = algebra.Project(cur, cols...)
+			projected = true
 		}
 	}
 
@@ -357,12 +359,32 @@ func build(sel *sqlast.SelectStmt, validtime bool, asOf *types.Value, cat algebr
 			if !ok || o.Desc {
 				return nil, fmt.Errorf("tsql: ORDER BY supports plain ascending columns")
 			}
-			keys = append(keys, cr.String())
+			key := cr.String()
+			if projected {
+				// The sort runs above the projection, whose outputs carry
+				// unqualified (or aliased) names: a qualified reference
+				// like A.PosID must be sorted under its output name.
+				key = projectedName(cols, key)
+			}
+			keys = append(keys, key)
 		}
 		cur = algebra.Sort(cur, keys...)
 	}
 
 	return algebra.TM(cur), nil
+}
+
+// projectedName maps an ORDER BY column reference to the name it
+// carries after the select-list projection (the projection's output
+// name for its source column; the reference itself if no projection
+// column matches).
+func projectedName(cols []algebra.ProjCol, name string) string {
+	for _, c := range cols {
+		if strings.EqualFold(c.Src, name) {
+			return c.Out()
+		}
+	}
+	return name
 }
 
 func hasCol(cols []algebra.ProjCol, name string) bool {

@@ -8,6 +8,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 
 	"tango/internal/types"
@@ -15,6 +16,35 @@ import (
 
 // DefaultPrefetch is the default number of rows per fetch batch.
 const DefaultPrefetch = 256
+
+// bufPool recycles encode scratch buffers across batches. Steady-state
+// fetch and load traffic encodes one batch at a time; without the pool
+// every batch allocates (and grows) a fresh byte slice.
+var bufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 1<<14)
+		return &b
+	},
+}
+
+// maxPooledBuf caps the buffers the pool retains; one-off giant batches
+// (bulk loads of whole relations) should not pin megabytes forever.
+const maxPooledBuf = 1 << 22
+
+// GetBuf borrows an empty scratch buffer from the encode pool.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf returns a scratch buffer to the encode pool. The caller must
+// not touch the slice afterwards.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
 
 // EncodeBatch appends the encoding of rows to dst: a row count
 // followed by each tuple.
@@ -28,24 +58,33 @@ func EncodeBatch(dst []byte, rows []types.Tuple) []byte {
 
 // DecodeBatch decodes a batch produced by EncodeBatch.
 func DecodeBatch(data []byte) ([]types.Tuple, error) {
+	return DecodeBatchInto(nil, data)
+}
+
+// DecodeBatchInto decodes a batch appending to dst, so a steady-state
+// consumer can recycle one row-header slice across fetches (the decoded
+// tuples themselves are fresh allocations — consumers may retain them).
+func DecodeBatchInto(dst []types.Tuple, data []byte) ([]types.Tuple, error) {
 	n, k := binary.Uvarint(data)
 	if k <= 0 {
 		return nil, fmt.Errorf("wire: bad batch header")
 	}
 	pos := k
-	rows := make([]types.Tuple, 0, n)
+	if dst == nil {
+		dst = make([]types.Tuple, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		t, used, err := types.DecodeTuple(data[pos:])
 		if err != nil {
 			return nil, fmt.Errorf("wire: row %d: %w", i, err)
 		}
 		pos += used
-		rows = append(rows, t)
+		dst = append(dst, t)
 	}
 	if pos != len(data) {
 		return nil, fmt.Errorf("wire: %d trailing bytes", len(data)-pos)
 	}
-	return rows, nil
+	return dst, nil
 }
 
 // EncodeSchema serializes a schema (names and kinds).
@@ -100,11 +139,16 @@ func (l Latency) Transmit(n int) time.Duration {
 	return time.Duration(float64(n) / l.BytesPerSecond * float64(time.Second))
 }
 
+// Wire returns the delay of one request/response exchange carrying n
+// payload bytes: one round trip plus the transmit time.
+func (l Latency) Wire(n int) time.Duration {
+	return l.RoundTrip + l.Transmit(n)
+}
+
 // Charge sleeps for one round trip plus the transmit time of n bytes.
 // It is a no-op for the zero Latency.
 func (l Latency) Charge(n int) {
-	d := l.RoundTrip + l.Transmit(n)
-	if d > 0 {
+	if d := l.Wire(n); d > 0 {
 		time.Sleep(d)
 	}
 }

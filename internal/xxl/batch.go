@@ -1,0 +1,127 @@
+package xxl
+
+// This file holds the batch-native fast paths for the middleware
+// operators. FILTER^M and PROJECT^M sit on the hottest pipelines
+// (directly above TRANSFER^M); moving tuples through them a batch at a
+// time removes one dynamic-dispatch Next call per tuple and lets the
+// batch flow straight from the wire decoder to the consumer.
+
+import (
+	"tango/internal/rel"
+	"tango/internal/types"
+)
+
+// NextBatch filters a batch at a time: it pulls input batches (using
+// the input's own batch fast path when available) and compacts the
+// qualifying tuples into dst. It only returns 0 at end of stream.
+func (f *Filter) NextBatch(dst []types.Tuple) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if cap(f.scratch) < len(dst) {
+		f.scratch = make([]types.Tuple, len(dst))
+	}
+	scratch := f.scratch[:len(dst)]
+	for {
+		n, err := rel.NextBatch(f.in, scratch)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		out := 0
+		for _, t := range scratch[:n] {
+			v, err := f.pred(t)
+			if err != nil {
+				return 0, err
+			}
+			if !v.IsNull() && v.AsBool() {
+				dst[out] = t
+				out++
+			}
+		}
+		if out > 0 {
+			return out, nil
+		}
+		// Whole batch filtered away: pull the next one rather than
+		// returning a spurious end-of-stream.
+	}
+}
+
+// NextBatch projects a batch at a time. Output tuples are built from a
+// single backing allocation per batch, amortizing the per-tuple
+// make+copy of the scalar path.
+func (p *Project) NextBatch(dst []types.Tuple) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if cap(p.scratch) < len(dst) {
+		p.scratch = make([]types.Tuple, len(dst))
+	}
+	scratch := p.scratch[:len(dst)]
+	n, err := rel.NextBatch(p.in, scratch)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	w := len(p.idx)
+	backing := make(types.Tuple, n*w)
+	for i, t := range scratch[:n] {
+		out := backing[i*w : (i+1)*w : (i+1)*w]
+		for j, k := range p.idx {
+			out[j] = t[k]
+		}
+		dst[i] = out
+	}
+	return n, nil
+}
+
+// NextBatch on SORT^M serves the in-memory sorted buffer a batch at a
+// time; the external (spilled) case falls back to the tuple merge.
+func (s *Sort) NextBatch(dst []types.Tuple) (int, error) {
+	if s.merger != nil {
+		n := 0
+		for n < len(dst) {
+			t, ok, err := s.merger.next()
+			if err != nil {
+				return n, err
+			}
+			if !ok {
+				break
+			}
+			dst[n] = t
+			n++
+		}
+		return n, nil
+	}
+	n := copy(dst, s.rows[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// NextBatch on a shared-transfer reader copies tuple headers straight
+// from the materialized buffer.
+func (r *SharedReader) NextBatch(dst []types.Tuple) (int, error) {
+	if r.pos < 0 {
+		_, _, err := r.Next() // canonical not-opened error
+		return 0, err
+	}
+	n := copy(dst, r.src.rel.Tuples[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// NextBatch streams a wire batch through TRANSFER^M without the
+// per-tuple indirection: the rows decoded from one fetch are handed to
+// the consumer as one execution batch.
+func (t *TransferM) NextBatch(dst []types.Tuple) (int, error) {
+	if t.rows == nil {
+		_, _, err := t.Next() // canonical not-opened error
+		return 0, err
+	}
+	n, err := t.rows.NextBatch(dst)
+	if err != nil || n == 0 {
+		t.fb = t.rows.Feedback()
+	}
+	return n, err
+}

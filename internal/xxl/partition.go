@@ -1,0 +1,666 @@
+package xxl
+
+// Partitioned variants of the order-sensitive middleware algorithms:
+// PTAggr (TAGGR^M) and PJoin (JOIN^M / TJOIN^M). Both exploit the
+// same observation: their sequential algorithms consume inputs sorted
+// on the grouping/join attributes and never relate tuples across
+// distinct key values, so a sorted input can be cut at key boundaries
+// into contiguous partitions, each partition computed with the
+// unchanged sequential algorithm on its own worker, and the partition
+// outputs concatenated in partition order. Because partitions are
+// contiguous ranges of the (sorted) input and each sequential
+// algorithm is order preserving, the concatenation is tuple-for-tuple
+// identical to the sequential result — list equivalence, which the
+// optimizer's middleware plan contracts require, is preserved by
+// construction.
+
+import (
+	"sort"
+	"sync"
+
+	"tango/internal/rel"
+	"tango/internal/types"
+)
+
+// minPartitionRows is the smallest materialized input worth
+// partitioning; below it worker overhead dominates.
+const minPartitionRows = 1024
+
+// drainSorted materializes an iterator (opening and closing it),
+// cloning every tuple, and validates that consecutive tuples are
+// ordered on keys; violations are reported through errf (prev, cur).
+// A nil errf skips validation.
+func drainSorted(in rel.Iterator, keys []int, errf func(prev, cur types.Tuple) error) ([]types.Tuple, error) {
+	if err := in.Open(); err != nil {
+		return nil, err
+	}
+	var rows []types.Tuple
+	check := func(t types.Tuple) error {
+		if errf != nil && len(rows) > 0 &&
+			types.CompareTuples(rows[len(rows)-1], t, keys, nil) > 0 {
+			return errf(rows[len(rows)-1], t)
+		}
+		rows = append(rows, t)
+		return nil
+	}
+	var err error
+	if b, ok := in.(rel.BatchIterator); ok {
+		dst := make([]types.Tuple, rel.DefaultBatchSize)
+		for err == nil {
+			var n int
+			n, err = b.NextBatch(dst)
+			if err != nil || n == 0 {
+				break
+			}
+			for i := 0; i < n && err == nil; i++ {
+				err = check(dst[i].Clone())
+			}
+		}
+	} else {
+		for err == nil {
+			var t types.Tuple
+			var ok2 bool
+			t, ok2, err = in.Next()
+			if err != nil || !ok2 {
+				break
+			}
+			err = check(t.Clone())
+		}
+	}
+	if err != nil {
+		_ = in.Close() // the original error wins
+		return nil, err
+	}
+	if err := in.Close(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// splitAtKeyBoundaries cuts rows (sorted on keys) into at most
+// maxParts contiguous partitions, never separating tuples that share a
+// key value. Partition order is input order.
+func splitAtKeyBoundaries(rows []types.Tuple, keys []int, maxParts int) [][]types.Tuple {
+	if maxParts <= 1 || len(rows) < minPartitionRows {
+		if len(rows) == 0 {
+			return nil
+		}
+		return [][]types.Tuple{rows}
+	}
+	target := (len(rows) + maxParts - 1) / maxParts
+	var parts [][]types.Tuple
+	start := 0
+	for start < len(rows) {
+		cut := start + target
+		if cut >= len(rows) {
+			parts = append(parts, rows[start:])
+			break
+		}
+		// Advance the cut to the next key boundary so no key group is
+		// split across partitions.
+		for cut < len(rows) &&
+			types.CompareTuples(rows[cut-1], rows[cut], keys, nil) == 0 {
+			cut++
+		}
+		if cut >= len(rows) {
+			parts = append(parts, rows[start:])
+			break
+		}
+		parts = append(parts, rows[start:cut])
+		start = cut
+	}
+	return parts
+}
+
+// runPartitions evaluates fn for every partition index on at most par
+// concurrent workers and returns the per-partition outputs in
+// partition order. The first error wins; all workers are always
+// joined.
+func runPartitions(par, n int, fn func(i int) ([]types.Tuple, error)) ([][]types.Tuple, error) {
+	outs := make([][]types.Tuple, n)
+	if par <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = out
+		}
+		return outs, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, par)
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out, err := fn(i)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}
+
+// drainOwned drains an iterator whose tuples are fresh allocations
+// (true for every operator in this package), without cloning.
+func drainOwned(it rel.Iterator) ([]types.Tuple, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var out []types.Tuple
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			_ = it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// materialized is the shared serving state of the partitioned
+// operators: a concatenated result list plus cursor.
+type materialized struct {
+	out    [][]types.Tuple // per-partition outputs, served in order
+	part   int
+	pos    int
+	opened bool
+}
+
+func (m *materialized) reset(outs [][]types.Tuple) {
+	m.out = outs
+	m.part = 0
+	m.pos = 0
+	m.opened = true
+}
+
+func (m *materialized) next() (types.Tuple, bool) {
+	for m.part < len(m.out) {
+		p := m.out[m.part]
+		if m.pos < len(p) {
+			t := p[m.pos]
+			m.pos++
+			return t, true
+		}
+		m.part++
+		m.pos = 0
+	}
+	return nil, false
+}
+
+func (m *materialized) nextBatch(dst []types.Tuple) int {
+	n := 0
+	for n < len(dst) && m.part < len(m.out) {
+		p := m.out[m.part]
+		if m.pos >= len(p) {
+			m.part++
+			m.pos = 0
+			continue
+		}
+		c := copy(dst[n:], p[m.pos:])
+		m.pos += c
+		n += c
+	}
+	return n
+}
+
+func (m *materialized) close() { m.out = nil; m.opened = false }
+
+// partResult is one partition's computed output (or the stream error,
+// delivered in partition order after all preceding partitions).
+type partResult struct {
+	rows []types.Tuple
+	err  error
+}
+
+// PTAggr is the partitioned, pipelined TAGGR^M: a dispatcher goroutine
+// reads the sorted input, cuts it at grouping-attribute boundaries
+// into chunks of at least minPartitionRows, and hands each chunk to a
+// bounded worker pool running the unchanged sequential TAggr; the
+// consumer serves the partition outputs strictly in dispatch (= key)
+// order, so the result is tuple-for-tuple the sequential operator's
+// output. Because partitions are aggregated while the dispatcher is
+// still draining the input, the aggregation compute overlaps the
+// producer's latency (for a transfer-fed plan, the wire round trips of
+// later fetch batches) in addition to fanning out across cores.
+// Unlike the streaming TAggr (one group resident at a time) it holds a
+// bounded window of partitions in memory; the executor only selects it
+// when Parallelism > 1.
+type PTAggr struct {
+	in      rel.Iterator
+	groupBy []int
+	t1, t2  int
+	aggs    []AggSpec
+	schema  types.Schema
+
+	// Parallelism bounds the concurrent partition workers.
+	Parallelism int
+	// OnStats, when set, receives the partition shape when the operator
+	// closes.
+	OnStats func(ParallelStats)
+
+	opened   bool
+	inSchema types.Schema
+	parts    chan chan partResult
+	stop     chan struct{}
+	done     chan struct{}
+	closeErr error         // input Close error (EOS path), surfaced at Close
+	stats    ParallelStats // written by the dispatcher, read after done
+
+	cur []types.Tuple
+	pos int
+	err error
+	eos bool
+}
+
+// NewPTAggr mirrors NewTAggr with a worker bound.
+func NewPTAggr(in rel.Iterator, groupBy []int, t1, t2 int, aggs []AggSpec, out types.Schema, parallelism int) *PTAggr {
+	return &PTAggr{in: in, groupBy: groupBy, t1: t1, t2: t2, aggs: aggs, schema: out, Parallelism: parallelism}
+}
+
+// Schema returns the output schema.
+func (a *PTAggr) Schema() types.Schema { return a.schema }
+
+// Open opens the input synchronously (planning errors surface here)
+// and starts the partition dispatcher.
+func (a *PTAggr) Open() error {
+	if err := a.in.Open(); err != nil {
+		return err
+	}
+	par := a.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	a.inSchema = a.in.Schema()
+	a.parts = make(chan chan partResult, par)
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	a.closeErr = nil
+	a.stats = ParallelStats{Op: "TAggr^M"}
+	a.cur, a.pos, a.err, a.eos = nil, 0, nil, false
+	a.opened = true
+	go a.dispatch(par)
+	return nil
+}
+
+// dispatch reads the sorted input, validates its order, cuts it at
+// group boundaries, and fans the chunks out to at most par workers.
+// It owns the input: the wrapped iterator is closed here on every exit
+// path, so transfer feedback and temp-table cleanup run exactly as in
+// the sequential operator.
+func (a *PTAggr) dispatch(par int) {
+	defer close(a.done)
+	defer close(a.parts)
+
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	// emit hands one chunk to a worker; false means stop was closed.
+	emit := func(rows []types.Tuple) bool {
+		res := make(chan partResult, 1) // buffered: workers never block
+		select {
+		case <-a.stop:
+			return false
+		case a.parts <- res:
+		}
+		a.stats.observe(len(rows))
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			it := (&rel.Relation{Schema: a.inSchema, Tuples: rows}).Iter()
+			out, err := drainOwned(NewTAggr(it, a.groupBy, a.t1, a.t2, a.aggs, a.schema))
+			res <- partResult{rows: out, err: err}
+		}()
+		return true
+	}
+	// fail delivers the stream error in partition order.
+	fail := func(err error) {
+		res := make(chan partResult, 1)
+		res <- partResult{err: err}
+		select {
+		case <-a.stop:
+		case a.parts <- res:
+		}
+	}
+	finish := func(readErr error) {
+		a.stats.Workers = min2(par, a.stats.Partitions)
+		cerr := a.in.Close()
+		if readErr == nil {
+			a.closeErr = cerr
+		}
+	}
+
+	sortKey := append(append([]int{}, a.groupBy...), a.t1)
+	var pending []types.Tuple
+	var prev types.Tuple
+	take := func(t types.Tuple) error {
+		// Same contract and message as the sequential TAggr (§3.4).
+		if prev != nil && types.CompareTuples(prev, t, sortKey, nil) > 0 {
+			return errTAggrUnsorted(prev, t)
+		}
+		prev = t
+		pending = append(pending, t)
+		return nil
+	}
+	// cut dispatches pending up to its last group boundary.
+	cut := func() bool {
+		i := len(pending)
+		for i > 1 && types.CompareTuples(pending[i-1], pending[i-2], a.groupBy, nil) == 0 {
+			i--
+		}
+		if i <= 1 {
+			return true // one giant group: keep accumulating
+		}
+		i-- // index of the first tuple of the trailing (open) group
+		chunk := pending[:i:i]
+		rest := pending[i:]
+		pending = make([]types.Tuple, len(rest), minPartitionRows+len(rest))
+		copy(pending, rest)
+		return emit(chunk)
+	}
+
+	b, isBatch := a.in.(rel.BatchIterator)
+	var dst []types.Tuple
+	if isBatch {
+		dst = make([]types.Tuple, rel.DefaultBatchSize)
+	}
+	for {
+		select {
+		case <-a.stop:
+			finish(nil)
+			return
+		default:
+		}
+		var readErr error
+		if isBatch {
+			var n int
+			n, readErr = b.NextBatch(dst)
+			if readErr == nil && n == 0 {
+				break
+			}
+			for i := 0; i < n && readErr == nil; i++ {
+				readErr = take(dst[i].Clone())
+			}
+		} else {
+			var t types.Tuple
+			var ok bool
+			t, ok, readErr = a.in.Next()
+			if readErr == nil && !ok {
+				break
+			}
+			if readErr == nil {
+				readErr = take(t.Clone())
+			}
+		}
+		if readErr != nil {
+			fail(readErr)
+			finish(readErr)
+			return
+		}
+		if len(pending) >= minPartitionRows && !cut() {
+			finish(nil)
+			return
+		}
+	}
+	if len(pending) > 0 {
+		emit(pending)
+	}
+	finish(nil)
+}
+
+// advance installs the next partition's output as current. It returns
+// false at end of stream (a.err may be set).
+func (a *PTAggr) advance() bool {
+	if a.eos || a.err != nil {
+		return false
+	}
+	res, ok := <-a.parts
+	if !ok {
+		a.eos = true
+		return false
+	}
+	r := <-res
+	if r.err != nil {
+		a.err = r.err
+		return false
+	}
+	a.cur, a.pos = r.rows, 0
+	return true
+}
+
+// Next serves the partition outputs in partition (= key) order.
+func (a *PTAggr) Next() (types.Tuple, bool, error) {
+	if !a.opened {
+		return nil, false, errNotOpened("taggr")
+	}
+	for {
+		if a.pos < len(a.cur) {
+			t := a.cur[a.pos]
+			a.pos++
+			return t, true, nil
+		}
+		if !a.advance() {
+			return nil, false, a.err
+		}
+	}
+}
+
+// NextBatch serves whole batches from the partition outputs.
+func (a *PTAggr) NextBatch(dst []types.Tuple) (int, error) {
+	if !a.opened {
+		return 0, errNotOpened("taggr")
+	}
+	for {
+		if a.pos < len(a.cur) {
+			n := copy(dst, a.cur[a.pos:])
+			a.pos += n
+			return n, nil
+		}
+		if !a.advance() {
+			return 0, a.err
+		}
+	}
+}
+
+// Close stops the dispatcher, waits for it (and its workers) to exit,
+// and reports the partition statistics. The input is closed by the
+// dispatcher on its way out. Idempotent.
+func (a *PTAggr) Close() error {
+	if !a.opened {
+		return nil
+	}
+	a.opened = false
+	close(a.stop)
+	// Unblock a dispatcher waiting to hand over a future.
+	for range a.parts {
+	}
+	<-a.done
+	a.cur = nil
+	if a.OnStats != nil {
+		a.OnStats(a.stats)
+	}
+	return a.closeErr
+}
+
+// PJoin is the partitioned JOIN^M / TJOIN^M: both sorted inputs are
+// materialized, the left is cut at join-key boundaries, each left
+// partition is joined (with the unchanged sequential algorithm)
+// against the right subrange holding its key interval — located by
+// binary search — and the partition outputs are concatenated in
+// partition order. Key groups are never split and the sequential join
+// is order preserving on the left input, so the result is
+// tuple-for-tuple the sequential join's output.
+type PJoin struct {
+	left, right  rel.Iterator
+	lkeys, rkeys []int
+
+	temporal           bool
+	lt1, lt2, rt1, rt2 int
+
+	schema types.Schema
+
+	// Parallelism bounds the concurrent partition workers.
+	Parallelism int
+	// OnStats, when set, receives the partition shape after Open.
+	OnStats func(ParallelStats)
+
+	m materialized
+}
+
+// NewPMergeJoin is the partitioned NewMergeJoin.
+func NewPMergeJoin(left, right rel.Iterator, lkeys, rkeys []int, parallelism int) *PJoin {
+	return &PJoin{
+		left: left, right: right, lkeys: lkeys, rkeys: rkeys,
+		schema:      left.Schema().Concat(right.Schema()),
+		Parallelism: parallelism,
+	}
+}
+
+// NewPTJoin is the partitioned NewTJoin.
+func NewPTJoin(left, right rel.Iterator, lkeys, rkeys []int, lt1, lt2, rt1, rt2 int, parallelism int) *PJoin {
+	return &PJoin{
+		left: left, right: right, lkeys: lkeys, rkeys: rkeys,
+		temporal: true, lt1: lt1, lt2: lt2, rt1: rt1, rt2: rt2,
+		schema:      tjoinSchema(left.Schema(), right.Schema(), rt1, rt2),
+		Parallelism: parallelism,
+	}
+}
+
+// Schema returns the join output schema.
+func (j *PJoin) Schema() types.Schema { return j.schema }
+
+// Open materializes both inputs, partitions the left at key
+// boundaries, and joins the partitions concurrently.
+func (j *PJoin) Open() error {
+	par := j.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	op := "Join^M"
+	if j.temporal {
+		op = "TJoin^M"
+	}
+	leftRows, err := drainSorted(j.left, j.lkeys, func(prev, cur types.Tuple) error {
+		return errJoinUnsorted("left")
+	})
+	if err != nil {
+		return err
+	}
+	rightRows, err := drainSorted(j.right, j.rkeys, func(prev, cur types.Tuple) error {
+		return errJoinUnsorted("right")
+	})
+	if err != nil {
+		return err
+	}
+	ls, rs := j.left.Schema(), j.right.Schema()
+	parts := splitAtKeyBoundaries(leftRows, j.lkeys, par)
+	stats := ParallelStats{Op: op, Workers: min2(par, len(parts))}
+	for _, p := range parts {
+		stats.observe(len(p))
+	}
+	outs, err := runPartitions(par, len(parts), func(i int) ([]types.Tuple, error) {
+		part := parts[i]
+		lo, hi := rightRange(rightRows, j.rkeys, part, j.lkeys)
+		li := (&rel.Relation{Schema: ls, Tuples: part}).Iter()
+		ri := (&rel.Relation{Schema: rs, Tuples: rightRows[lo:hi]}).Iter()
+		var seq rel.Iterator
+		if j.temporal {
+			seq = NewTJoin(li, ri, j.lkeys, j.rkeys, j.lt1, j.lt2, j.rt1, j.rt2)
+		} else {
+			seq = NewMergeJoin(li, ri, j.lkeys, j.rkeys)
+		}
+		return drainOwned(seq)
+	})
+	if err != nil {
+		return err
+	}
+	j.m.reset(outs)
+	if j.OnStats != nil {
+		j.OnStats(stats)
+	}
+	return nil
+}
+
+// rightRange returns the half-open index range of right rows whose
+// join key falls inside the left partition's [first, last] key
+// interval. Both sides are sorted on their keys, so two binary
+// searches suffice.
+func rightRange(right []types.Tuple, rkeys []int, leftPart []types.Tuple, lkeys []int) (int, int) {
+	if len(leftPart) == 0 || len(right) == 0 {
+		return 0, 0
+	}
+	first := keyTuple(leftPart[0], lkeys)
+	last := keyTuple(leftPart[len(leftPart)-1], lkeys)
+	lo := sort.Search(len(right), func(i int) bool {
+		return cmpKeys(keyTuple(right[i], rkeys), first) >= 0
+	})
+	hi := sort.Search(len(right), func(i int) bool {
+		return cmpKeys(keyTuple(right[i], rkeys), last) > 0
+	})
+	return lo, hi
+}
+
+// Next serves the concatenated partition outputs in partition order.
+func (j *PJoin) Next() (types.Tuple, bool, error) {
+	if !j.m.opened {
+		return nil, false, errNotOpened("join")
+	}
+	t, ok := j.m.next()
+	return t, ok, nil
+}
+
+// NextBatch serves whole batches from the materialized result.
+func (j *PJoin) NextBatch(dst []types.Tuple) (int, error) {
+	if !j.m.opened {
+		return 0, errNotOpened("join")
+	}
+	return j.m.nextBatch(dst), nil
+}
+
+// Close releases the materialized result. The inputs were already
+// closed by Open.
+func (j *PJoin) Close() error {
+	j.m.close()
+	return nil
+}
+
+func min2(a, b int) int {
+	if b < a {
+		return b
+	}
+	return a
+}

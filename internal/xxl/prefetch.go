@@ -1,0 +1,208 @@
+package xxl
+
+import (
+	"fmt"
+	"sync"
+
+	"tango/internal/rel"
+	"tango/internal/types"
+)
+
+// Prefetch double-buffers an iterator behind a background worker: the
+// worker pulls whole batches from the wrapped iterator one step ahead
+// of the consumer, so the producer's latency (for TRANSFER^M, the wire
+// round trip and transmit time of the next fetch batch) overlaps with
+// the middleware compute consuming the current batch. Order is
+// trivially preserved — batches flow through a single channel in
+// production order.
+//
+// The wrapped iterator's batch tuples must stay valid after its next
+// NextBatch call, which holds for every operator in this codebase
+// (transfers decode fresh tuples per fetch; middleware operators hand
+// out owned tuples). Plain tuple-at-a-time producers are cloned by the
+// generic batch fallback.
+type Prefetch struct {
+	in rel.Iterator
+	// BatchSize is the rows per prefetched batch (default
+	// rel.DefaultBatchSize, aligning with the wire prefetch).
+	BatchSize int
+	// OnStats, when set, receives {batches, rows} pulled when the
+	// stream completes or closes.
+	OnStats func(ParallelStats)
+
+	mu     sync.Mutex // guards open/close transitions
+	opened bool
+
+	ch   chan prefBatch
+	free chan []types.Tuple
+	stop chan struct{}
+	done chan struct{}
+
+	curBuf []types.Tuple // full-capacity buffer on loan from free
+	cur    []types.Tuple // valid view of curBuf
+	pos    int
+	err    error
+	eos    bool
+
+	batches int64
+	rows    int64
+}
+
+type prefBatch struct {
+	rows []types.Tuple // view into a free-list buffer
+	err  error
+}
+
+// NewPrefetch wraps an iterator with background batch prefetching.
+func NewPrefetch(in rel.Iterator) *Prefetch { return &Prefetch{in: in} }
+
+// Unwrap returns the wrapped iterator, so plan rewrites that
+// type-assert on concrete operators can see through the prefetcher.
+func (p *Prefetch) Unwrap() rel.Iterator { return p.in }
+
+// Schema returns the wrapped iterator's schema.
+func (p *Prefetch) Schema() types.Schema { return p.in.Schema() }
+
+// Open opens the wrapped iterator synchronously (so dependency loads
+// and planning errors surface here), then starts the prefetch worker.
+func (p *Prefetch) Open() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.opened {
+		return fmt.Errorf("xxl: prefetch already open")
+	}
+	if err := p.in.Open(); err != nil {
+		return err
+	}
+	bs := p.BatchSize
+	if bs <= 0 {
+		bs = rel.DefaultBatchSize
+	}
+	p.ch = make(chan prefBatch, 1)
+	p.free = make(chan []types.Tuple, 2)
+	p.free <- make([]types.Tuple, bs)
+	p.free <- make([]types.Tuple, bs)
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	p.curBuf, p.cur, p.pos = nil, nil, 0
+	p.err, p.eos = nil, false
+	p.batches, p.rows = 0, 0
+	p.opened = true
+	go p.worker()
+	return nil
+}
+
+// worker pulls batches ahead of the consumer until EOS, error, or
+// stop. The final (possibly empty) batch carries the error/EOS signal.
+func (p *Prefetch) worker() {
+	defer close(p.done)
+	b, isBatch := p.in.(rel.BatchIterator)
+	for {
+		var buf []types.Tuple
+		select {
+		case <-p.stop:
+			return
+		case buf = <-p.free:
+		}
+		var n int
+		var err error
+		if isBatch {
+			n, err = b.NextBatch(buf)
+		} else {
+			n, err = rel.NextBatch(p.in, buf) // clone fallback
+		}
+		select {
+		case <-p.stop:
+			return
+		case p.ch <- prefBatch{rows: buf[:n], err: err}:
+		}
+		if err != nil || n == 0 {
+			return
+		}
+	}
+}
+
+// advance installs the next prefetched batch as current. It returns
+// false at end of stream (p.err may be set).
+func (p *Prefetch) advance() bool {
+	if p.eos || p.err != nil {
+		return false
+	}
+	if p.curBuf != nil {
+		// Hand the spent buffer back to the worker. Never blocks: at
+		// most two buffers exist and this one is off the free list.
+		p.free <- p.curBuf[:cap(p.curBuf)]
+		p.curBuf, p.cur = nil, nil
+	}
+	b := <-p.ch
+	p.pos = 0
+	if b.err != nil {
+		p.err = b.err
+		return false
+	}
+	if len(b.rows) == 0 {
+		p.eos = true
+		return false
+	}
+	p.cur = b.rows
+	p.curBuf = b.rows
+	p.batches++
+	p.rows += int64(len(b.rows))
+	return true
+}
+
+// Next returns the next prefetched tuple.
+func (p *Prefetch) Next() (types.Tuple, bool, error) {
+	if !p.opened {
+		return nil, false, errNotOpened("prefetch")
+	}
+	for {
+		if p.pos < len(p.cur) {
+			t := p.cur[p.pos]
+			p.pos++
+			return t, true, nil
+		}
+		if !p.advance() {
+			return nil, false, p.err
+		}
+	}
+}
+
+// NextBatch hands over (up to) one whole prefetched batch.
+func (p *Prefetch) NextBatch(dst []types.Tuple) (int, error) {
+	if !p.opened {
+		return 0, errNotOpened("prefetch")
+	}
+	for {
+		if p.pos < len(p.cur) {
+			n := copy(dst, p.cur[p.pos:])
+			p.pos += n
+			return n, nil
+		}
+		if !p.advance() {
+			return 0, p.err
+		}
+	}
+}
+
+// Close stops the worker, waits for it to exit, and closes the
+// wrapped iterator (so transfer feedback and temp-table cleanup run
+// exactly as without prefetching). Idempotent.
+func (p *Prefetch) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.opened {
+		return nil
+	}
+	p.opened = false
+	close(p.stop)
+	<-p.done
+	p.curBuf, p.cur = nil, nil
+	if p.OnStats != nil {
+		p.OnStats(ParallelStats{
+			Op: "Prefetch", Workers: 1,
+			Partitions: int(p.batches), Rows: p.rows,
+		})
+	}
+	return p.in.Close()
+}

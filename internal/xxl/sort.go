@@ -29,6 +29,15 @@ type Sort struct {
 	keys      []int
 	descs     []bool
 	MemTuples int
+	// Parallelism bounds the concurrent run-generation workers (chunk
+	// sort + spill) and the in-memory chunk sort fan-out. 0 or 1 means
+	// sequential. Output order is identical either way: runs merge in
+	// chunk order and the merge heap breaks ties on run index, so the
+	// sort stays stable no matter which worker finishes first.
+	Parallelism int
+	// OnStats, when set, receives the parallel shape of the sort
+	// (workers, chunks, partition sizes) after Open completes.
+	OnStats func(ParallelStats)
 
 	rows   []types.Tuple // in-memory case
 	pos    int
@@ -50,10 +59,18 @@ func (s *Sort) Schema() types.Schema { return s.in.Schema() }
 
 // Open materializes and sorts the input, spilling if necessary. On
 // error the input iterator and any spilled run files are released; a
-// failed Open used to leak both.
+// failed Open used to leak both. With Parallelism > 1, spilled runs
+// are sorted and written by a bounded worker pool while the
+// coordinator keeps pulling input, and in-memory buffers are
+// chunk-sorted concurrently; the output order is identical to the
+// sequential sort's.
 func (s *Sort) Open() (err error) {
 	if s.MemTuples <= 0 {
 		s.MemTuples = DefaultSortMemory
+	}
+	par := s.Parallelism
+	if par < 1 {
+		par = 1
 	}
 	if err := s.in.Open(); err != nil {
 		return err
@@ -62,7 +79,7 @@ func (s *Sort) Open() (err error) {
 	s.pos = 0
 	s.merger = nil
 
-	var runs []*os.File
+	gen := newRunGen(s, par)
 	inOpen := true
 	defer func() {
 		if err == nil {
@@ -71,31 +88,49 @@ func (s *Sort) Open() (err error) {
 		if inOpen {
 			_ = s.in.Close() // error path: the original error wins
 		}
-		removeRuns(runs)
+		gen.abort()
 	}()
 	buf := make([]types.Tuple, 0, 1024)
-	flushRun := func() error {
-		s.sortBuf(buf)
-		f, err := writeRun(buf)
-		if err != nil {
-			return err
-		}
-		runs = append(runs, f)
-		buf = buf[:0]
-		return nil
+	spill := func() error {
+		buf = gen.spill(buf)
+		return gen.err()
 	}
-	for {
-		t, ok, err := s.in.Next()
-		if err != nil {
-			return err
+	// Pull the input a batch at a time when it supports it; tuples are
+	// cloned either way because the sort retains them past the next
+	// producer call.
+	if b, ok := s.in.(rel.BatchIterator); ok {
+		dst := make([]types.Tuple, rel.DefaultBatchSize)
+		for {
+			n, e := b.NextBatch(dst)
+			if e != nil {
+				return e
+			}
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				buf = append(buf, dst[i].Clone())
+				if len(buf) >= s.MemTuples {
+					if e := spill(); e != nil {
+						return e
+					}
+				}
+			}
 		}
-		if !ok {
-			break
-		}
-		buf = append(buf, t.Clone())
-		if len(buf) >= s.MemTuples {
-			if err := flushRun(); err != nil {
-				return err
+	} else {
+		for {
+			t, ok2, e := s.in.Next()
+			if e != nil {
+				return e
+			}
+			if !ok2 {
+				break
+			}
+			buf = append(buf, t.Clone())
+			if len(buf) >= s.MemTuples {
+				if e := spill(); e != nil {
+					return e
+				}
 			}
 		}
 	}
@@ -103,25 +138,46 @@ func (s *Sort) Open() (err error) {
 	if err := s.in.Close(); err != nil {
 		return err
 	}
-	if len(runs) == 0 {
-		// Pure in-memory sort.
-		s.sortBuf(buf)
-		s.rows = buf
+	if gen.chunks == 0 {
+		// Pure in-memory sort (chunk-parallel when configured).
+		s.rows = s.sortParallel(buf, par, &gen.stats)
+		s.reportStats(gen, par)
 		return nil
 	}
 	if len(buf) > 0 {
-		if err := flushRun(); err != nil {
-			return err
+		if e := spill(); e != nil {
+			return e
 		}
 	}
-	handoff := runs
-	runs = nil // ownership moves to the merger, which cleans up on error
-	m, err := newRunMerger(handoff, s.keys, s.descs)
+	files, err := gen.finish()
+	if err != nil {
+		return err
+	}
+	// newRunMerger owns the files now and cleans up on error.
+	m, err := newRunMerger(files, s.keys, s.descs)
 	if err != nil {
 		return err
 	}
 	s.merger = m
+	s.reportStats(gen, par)
 	return nil
+}
+
+// reportStats delivers the parallel shape to the OnStats observer.
+func (s *Sort) reportStats(gen *runGen, par int) {
+	if s.OnStats == nil {
+		return
+	}
+	st := gen.stats
+	st.Op = "Sort^M"
+	st.Workers = par
+	if st.Partitions < st.Workers {
+		st.Workers = st.Partitions
+	}
+	if st.Workers < 1 {
+		st.Workers = 1
+	}
+	s.OnStats(st)
 }
 
 func (s *Sort) sortBuf(buf []types.Tuple) {

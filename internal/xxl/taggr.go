@@ -82,10 +82,17 @@ func (a *TAggr) Close() error {
 	return a.in.Close()
 }
 
+// errTAggrUnsorted is the sorted-input contract violation (§3.4) for
+// temporal aggregation; sequential and partitioned TAggr report it
+// identically.
+func errTAggrUnsorted(prev, cur types.Tuple) error {
+	return fmt.Errorf("xxl: taggr input not sorted on grouping attributes and T1 (saw %v after %v)", cur, prev)
+}
+
 // Next returns the next constant-interval aggregate row.
 func (a *TAggr) Next() (types.Tuple, bool, error) {
 	if !a.opened {
-		return nil, false, fmt.Errorf("xxl: taggr not opened")
+		return nil, false, errNotOpened("taggr")
 	}
 	for a.pos >= len(a.out) {
 		group, err := a.readGroup()
@@ -126,7 +133,7 @@ func (a *TAggr) readGroup() ([]types.Tuple, error) {
 		// on the grouping attributes and T1; a violation means a broken
 		// plan, and silent acceptance would produce wrong aggregates.
 		if a.prevRow != nil && types.CompareTuples(a.prevRow, t, a.sortKey, nil) > 0 {
-			return nil, fmt.Errorf("xxl: taggr input not sorted on grouping attributes and T1 (saw %v after %v)", t, a.prevRow)
+			return nil, errTAggrUnsorted(a.prevRow, t)
 		}
 		a.prevRow = t
 		if len(group) > 0 && types.CompareTuples(group[0], t, a.groupBy, nil) != 0 {

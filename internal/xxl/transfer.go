@@ -19,6 +19,12 @@ type TransferM struct {
 	schema types.Schema
 	deps   []*TransferD
 
+	// Window is the pipelined fetch window: when > 1, up to Window
+	// FETCH round trips are kept in flight so their wire latency
+	// overlaps (the parallel executor sets it to its fan-out).
+	// <= 1 fetches synchronously.
+	Window int
+
 	rows *client.Rows
 	fb   client.Feedback
 }
@@ -43,7 +49,7 @@ func (t *TransferM) Open() error {
 			return err
 		}
 	}
-	rows, err := t.conn.Query(t.sql)
+	rows, err := t.conn.QueryWindowed(t.sql, t.Window)
 	if err != nil {
 		return fmt.Errorf("xxl: transfer^M: %w", err)
 	}

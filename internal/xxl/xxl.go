@@ -12,8 +12,9 @@ import (
 // Filter is FILTER^M: predicate selection in the middleware. Order
 // preserving.
 type Filter struct {
-	in   rel.Iterator
-	pred eval.Func
+	in      rel.Iterator
+	pred    eval.Func
+	scratch []types.Tuple // batch fast-path input buffer
 }
 
 // NewFilter compiles the predicate against the input schema.
@@ -54,9 +55,10 @@ func (f *Filter) Next() (types.Tuple, bool, error) {
 // Project is PROJECT^M: column selection/renaming by position. Order
 // preserving.
 type Project struct {
-	in     rel.Iterator
-	idx    []int
-	schema types.Schema
+	in      rel.Iterator
+	idx     []int
+	schema  types.Schema
+	scratch []types.Tuple // batch fast-path input buffer
 }
 
 // NewProject keeps the input columns at the given indexes, renaming
@@ -147,7 +149,7 @@ func (j *MergeJoin) advanceRight() error {
 	// input would drop join matches.
 	if j.rnext != nil {
 		if types.CompareTuples(keyTuple(j.rnext, j.rkeys), keyTuple(t, j.rkeys), seqIdx(len(j.rkeys)), nil) > 0 {
-			return fmt.Errorf("xxl: merge join right input not sorted on join keys")
+			return errJoinUnsorted("right")
 		}
 	}
 	j.rnext = t.Clone()
@@ -217,7 +219,7 @@ func (j *MergeJoin) Next() (types.Tuple, bool, error) {
 				j.ri = 0 // same key: reuse the run
 				continue
 			case -1:
-				return nil, false, fmt.Errorf("xxl: merge join left input not sorted on join keys")
+				return nil, false, errJoinUnsorted("left")
 			}
 		}
 		j.lkey = k
@@ -272,19 +274,37 @@ type TJoin struct {
 // columns. lt1/lt2 index the left input's period; rt1/rt2 the right's.
 func NewTJoin(left, right rel.Iterator, lkeys, rkeys []int, lt1, lt2, rt1, rt2 int) *TJoin {
 	rs := right.Schema()
-	cols := append([]types.Column{}, left.Schema().Cols...)
+	return &TJoin{
+		mj:  NewMergeJoin(left, right, lkeys, rkeys),
+		lt1: lt1, lt2: lt2, rt1: rt1, rt2: rt2,
+		rightWidth: rs.Len(),
+		schema:     tjoinSchema(left.Schema(), rs, rt1, rt2),
+	}
+}
+
+// tjoinSchema is the temporal-join output schema: the left schema
+// (T1/T2 will carry the intersected period) plus the right schema
+// minus its time columns.
+func tjoinSchema(ls, rs types.Schema, rt1, rt2 int) types.Schema {
+	cols := append([]types.Column{}, ls.Cols...)
 	for i, c := range rs.Cols {
 		if i == rt1 || i == rt2 {
 			continue
 		}
 		cols = append(cols, c)
 	}
-	return &TJoin{
-		mj:  NewMergeJoin(left, right, lkeys, rkeys),
-		lt1: lt1, lt2: lt2, rt1: rt1, rt2: rt2,
-		rightWidth: rs.Len(),
-		schema:     types.Schema{Cols: cols},
-	}
+	return types.Schema{Cols: cols}
+}
+
+// errJoinUnsorted is the sorted-input contract violation for merge
+// joins; the partitioned and sequential joins report it identically.
+func errJoinUnsorted(side string) error {
+	return fmt.Errorf("xxl: merge join %s input not sorted on join keys", side)
+}
+
+// errNotOpened reports use of an operator before Open.
+func errNotOpened(op string) error {
+	return fmt.Errorf("xxl: %s not opened", op)
 }
 
 // Schema returns the temporal-join output schema.
