@@ -5,7 +5,7 @@ GO ?= go
 # Fuzz smoke budget per target (ci runs each fuzzer this long).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz bench-smoke bench-json ci clean
+.PHONY: all build vet lint test race fuzz chaos bench-smoke bench-json ci clean
 
 # Benchmark report written by bench-json.
 BENCHOUT ?= BENCH_3.json
@@ -30,12 +30,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# fuzz smoke-runs both parser fuzz targets for FUZZTIME each, seeded
-# from the evaluation workload. Any crasher is written to the
-# package's testdata/fuzz corpus and replays under plain `go test`.
+# fuzz smoke-runs the parser fuzz targets and the fault-schedule
+# decoder for FUZZTIME each, seeded from the evaluation workload. Any
+# crasher is written to the package's testdata/fuzz corpus and replays
+# under plain `go test`.
 fuzz:
 	$(GO) test ./internal/sqlparser/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/tsql/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire/ -run='^$$' -fuzz=FuzzParseSchedule -fuzztime=$(FUZZTIME)
+
+# chaos runs the seeded fault-injection sweep (every seed query under
+# drop/stall/partial schedules at both parallelism widths) and the
+# wire-death regression tests under the race detector. -short trims
+# the schedule grid so ci stays fast; run `go test ./internal/bench/
+# -run Chaos` for the full sweep.
+chaos:
+	$(GO) test ./internal/bench/ -run 'Chaos' -race -short
+	$(GO) test ./internal/client/ -run 'Windowed|Do|Backoff' -race
 
 # bench-smoke runs every benchmark for a single iteration at both
 # GOMAXPROCS widths, so ci catches benchmarks that no longer compile
@@ -54,10 +65,10 @@ bench-json:
 	  $(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime 2000x; } | $(GO) run ./cmd/benchjson > $(BENCHOUT)
 
 # ci is the full verification gate: compile everything, vet, run the
-# project analyzers, smoke the fuzz targets and the benchmarks, and
-# run the test suite under the race detector (tests also planck-check
-# every plan).
-ci: build vet lint fuzz race bench-smoke
+# project analyzers, smoke the fuzz targets and the benchmarks, run
+# the test suite under the race detector (tests also planck-check
+# every plan), and run the short chaos sweep under -race.
+ci: build vet lint fuzz race chaos bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -19,9 +19,11 @@ import (
 	"time"
 
 	"tango/internal/bench"
+	"tango/internal/client"
 	"tango/internal/rel"
 	"tango/internal/telemetry"
 	"tango/internal/tsql"
+	"tango/internal/wire"
 )
 
 func main() {
@@ -32,11 +34,36 @@ func main() {
 	metricsAddr := flag.String("metrics", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. "127.0.0.1:9090")`)
 	checkPlans := flag.Bool("checkplans", true, "validate every optimized plan and executor build with the planck plan checker")
 	parallelism := flag.Int("parallelism", 0, "middleware operator fan-out: 0 = GOMAXPROCS, 1 = sequential algorithms")
+	retries := flag.Int("retries", client.DefaultRetryPolicy().MaxAttempts, "max attempts per idempotent wire call (1 = no retries, 0 = disable the resilience layer)")
+	opTimeout := flag.Duration("op-timeout", client.DefaultRetryPolicy().OpTimeout, "per-attempt deadline for a wire call (0 = none)")
+	chaos := flag.String("chaos", "", `inject a deterministic fault schedule into the wire, e.g. "seed=7;stall=2ms;fetch@3=drop;load~partial=0.05"`)
+	chaosSeed := flag.Int64("chaos-seed", 0, "override the fault schedule's seed (replays a chaos run; 0 = keep the schedule's own seed)")
 	flag.Parse()
 
 	quiet := *command != ""
 	if !quiet {
 		fmt.Println("TANGO temporal middleware — loading UIS data...")
+	}
+	retry := client.RetryPolicy{} // -retries=0 disables the resilience layer
+	if *retries > 0 {
+		retry = client.DefaultRetryPolicy()
+		retry.MaxAttempts = *retries
+		retry.OpTimeout = *opTimeout
+	}
+	var faults *wire.FaultInjector
+	if *chaos != "" {
+		sched, err := wire.ParseSchedule(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		if *chaosSeed != 0 {
+			sched.Seed = *chaosSeed
+		}
+		faults = sched.Injector()
+		if !quiet {
+			fmt.Printf("chaos: injecting %q\n", sched.String())
+		}
 	}
 	reg := telemetry.NewRegistry()
 	sys, err := bench.NewSystem(bench.Config{
@@ -46,6 +73,8 @@ func main() {
 		Calibrate:    *calibrate,
 		Metrics:      reg,
 		Parallelism:  *parallelism,
+		Retry:        retry,
+		Faults:       faults,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "boot:", err)

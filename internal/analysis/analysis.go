@@ -14,7 +14,10 @@
 //     counter fix);
 //   - schemaprop: operator constructors derive their output schema
 //     from their input schemas instead of hard-coding column literals,
-//     preserving the algebra's schema-propagation invariant.
+//     preserving the algebra's schema-propagation invariant;
+//   - faultpath: wire/client call sites neither sever their caller's
+//     context.Context nor classify resilience failures with
+//     unwrap-unsafe type assertions (see faultpath.go).
 //
 // The framework loads and type-checks packages with the standard
 // library only: `go list -export -json -deps` supplies file lists and
@@ -48,7 +51,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{IterClose, ErrLost, AtomicField, SchemaProp}
+	return []*Analyzer{IterClose, ErrLost, AtomicField, SchemaProp, FaultPath}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

@@ -9,6 +9,7 @@ func TestIterClose(t *testing.T)   { testAnalyzer(t, IterClose, "iterclose") }
 func TestErrLost(t *testing.T)     { testAnalyzer(t, ErrLost, "errlost") }
 func TestAtomicField(t *testing.T) { testAnalyzer(t, AtomicField, "atomicfield") }
 func TestSchemaProp(t *testing.T)  { testAnalyzer(t, SchemaProp, "schemaprop") }
+func TestFaultPath(t *testing.T)   { testAnalyzer(t, FaultPath, "faultpath") }
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")

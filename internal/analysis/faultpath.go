@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FaultPath machine-checks the wire-resilience contracts that the
+// retry layer depends on:
+//
+//   - context drops: a function that receives a context.Context must
+//     thread it; minting a fresh context.Background()/context.TODO()
+//     inside such a function severs the caller's cancellation path,
+//     so an abandoned query keeps retrying after its owner gave up;
+//   - unwrap-unsafe classification: the resilience layer wraps its
+//     typed failures (wire.FaultError, client.OpError), so a direct
+//     type assertion or type-switch case on those types misclassifies
+//     every wrapped occurrence as non-retryable. Classification must
+//     go through errors.As/errors.Is (or the provided helpers
+//     wire.Retryable / client.Degradable / client.IsTimeout).
+//
+// Deliberate exceptions carry a //lint:ignore faultpath comment.
+var FaultPath = &Analyzer{
+	Name: "faultpath",
+	Doc:  "check that contexts are threaded and fault classification survives wrapping",
+	Run:  runFaultPath,
+}
+
+// faultTypes are the resilience layer's typed failures, by package
+// path suffix.
+var faultTypes = map[string]map[string]bool{
+	"internal/wire":   {"FaultError": true},
+	"internal/client": {"OpError": true},
+}
+
+func runFaultPath(pass *Pass) error {
+	for _, file := range pass.Files {
+		// Track the stack of enclosing functions so a context.Background()
+		// call can be judged against the nearest function's parameters.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkCtxMint(pass, stack, e)
+			case *ast.TypeAssertExpr:
+				if e.Type != nil { // x.(T); type switches are handled below
+					checkFaultAssert(pass, e.Type)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range e.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, texpr := range cc.List {
+						checkFaultAssert(pass, texpr)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxMint flags context.Background()/context.TODO() calls inside
+// a function that already has a context parameter to thread.
+func checkCtxMint(pass *Pass, stack []ast.Node, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() != "Background" && fn.Name() != "TODO" {
+		return
+	}
+	if param := enclosingCtxParam(pass, stack); param != "" {
+		pass.Reportf(call.Pos(),
+			"context.%s() inside a function that receives %s: thread the caller's context instead of severing cancellation",
+			fn.Name(), param)
+	}
+}
+
+// enclosingCtxParam walks the function stack innermost-first and
+// returns the name of a context.Context parameter (or receiver-bound
+// field name "ctx") available to the expression, "" when none.
+func enclosingCtxParam(pass *Pass, stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = f.Type
+		case *ast.FuncLit:
+			ft = f.Type
+		default:
+			continue
+		}
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			t := pass.Info.TypeOf(field.Type)
+			if !isContextType(t) {
+				continue
+			}
+			if len(field.Names) > 0 {
+				// A parameter named _ is an explicit opt-out.
+				if field.Names[0].Name == "_" {
+					continue
+				}
+				return field.Names[0].Name
+			}
+			return "a context.Context parameter"
+		}
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkFaultAssert flags a type assertion (or type-switch case) on a
+// resilience-layer error type — wrapped errors make it misclassify.
+func checkFaultAssert(pass *Pass, texpr ast.Expr) {
+	t := pass.Info.TypeOf(texpr)
+	if t == nil {
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	for suffix, names := range faultTypes {
+		if strings.HasSuffix(obj.Pkg().Path(), suffix) && names[obj.Name()] {
+			pass.Reportf(texpr.Pos(),
+				"type assertion on %s.%s misses wrapped errors; classify with errors.As (or the package's helper)",
+				obj.Pkg().Name(), obj.Name())
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Chaos suite: every workload query is executed under a sweep of
+// seeded wire-fault schedules and middleware parallelism settings.
+// The contract is strict — each run must either produce a result
+// list-equal to the fault-free reference (retries and plan fallback
+// absorbed the faults) or fail with a typed, classified error; and no
+// run may leak goroutines, server cursors, or transfer temp tables.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tango/internal/client"
+	"tango/internal/optimizer"
+	"tango/internal/rel"
+	"tango/internal/telemetry"
+	"tango/internal/tsql"
+	"tango/internal/wire"
+)
+
+// chaosPolicy is a fast retry policy for the chaos suite: real
+// backoff shape, test-friendly delays.
+func chaosPolicy() client.RetryPolicy {
+	return client.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Microsecond,
+		MaxDelay:    2 * time.Millisecond,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+		OpTimeout:   500 * time.Millisecond,
+		Deadline:    5 * time.Second,
+	}
+}
+
+// chaosLeakCheck snapshots the goroutine count and verifies (with a
+// grace period for deadline-abandoned attempts to drain) that it
+// returns to the baseline.
+func chaosLeakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// typedFailure reports whether err is one of the resilience layer's
+// classified failures (an OpError or a wire fault anywhere in the
+// chain) rather than an untyped infrastructure mess.
+func typedFailure(err error) bool {
+	var oe *client.OpError
+	var fe *wire.FaultError
+	return errors.As(err, &oe) || errors.As(err, &fe)
+}
+
+// chaosSchedules enumerates the fault-schedule sweep: scripted
+// "fail the Nth op" traps across every op × kind, plus persistent
+// probability-1 rules that exhaust the whole retry budget.
+func chaosSchedules(short bool) []string {
+	ops := []string{"query", "fetch", "load", "exec"}
+	kinds := []string{"drop", "stall", "partial"}
+	nths := []int{1, 2}
+	if short {
+		ops = []string{"query", "fetch", "load"}
+		kinds = []string{"drop", "partial"}
+		nths = []int{1}
+	}
+	var out []string
+	seed := 0
+	for _, op := range ops {
+		for _, kind := range kinds {
+			for _, nth := range nths {
+				seed++
+				out = append(out, fmt.Sprintf("seed=%d;stall=1ms;%s@%d=%s", seed, op, nth, kind))
+			}
+			// Persistent: every call to op faults, so the retry budget is
+			// exhausted and the failure (or a plan fallback) must surface
+			// cleanly.
+			seed++
+			out = append(out, fmt.Sprintf("seed=%d;stall=1ms;%s~%s=1", seed, op, kind))
+		}
+	}
+	return out
+}
+
+// TestChaosSweep runs every workload query under every fault schedule
+// at middleware parallelism 1 and 4.
+func TestChaosSweep(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		par := par
+		t.Run(fmt.Sprintf("par%d", par), func(t *testing.T) {
+			sys, err := NewSystem(Config{
+				PositionRows: 700, EmployeeRows: 250, Histograms: 10,
+				Parallelism: par, Retry: chaosPolicy(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Fault-free references.
+			refs := make([]*rel.Relation, len(SeedQueries))
+			for i, q := range SeedQueries {
+				plan, err := tsql.Parse(q, sys.MW.Cat)
+				if err != nil {
+					t.Fatalf("parse %q: %v", q, err)
+				}
+				out, _, err := sys.MW.Run(plan)
+				if err != nil {
+					t.Fatalf("fault-free %q: %v", q, err)
+				}
+				refs[i] = out
+			}
+			for _, src := range chaosSchedules(testing.Short()) {
+				src := src
+				t.Run(src, func(t *testing.T) {
+					defer chaosLeakCheck(t)()
+					sched, err := wire.ParseSchedule(src)
+					if err != nil {
+						t.Fatalf("schedule %q: %v", src, err)
+					}
+					sys.Srv.SetFaults(sched.Injector())
+					defer sys.Srv.SetFaults(nil)
+					persistent := strings.Contains(src, "~")
+					for i, q := range SeedQueries {
+						plan, err := tsql.Parse(q, sys.MW.Cat)
+						if err != nil {
+							t.Fatalf("parse %q: %v", q, err)
+						}
+						out, _, err := sys.MW.Run(plan)
+						switch {
+						case err != nil:
+							if !typedFailure(err) {
+								t.Fatalf("q%d: untyped failure under %q: %v", i, src, err)
+							}
+						case rel.EqualAsLists(out, refs[i]):
+							// Retries (or a deterministic fallback) fully
+							// absorbed the faults.
+						case persistent && rel.EqualAsMultisets(out, refs[i]):
+							// A plan fallback re-sited the query; for
+							// statements without a total order the fallback
+							// plan may produce another valid ordering.
+						default:
+							t.Fatalf("q%d: wrong result under %q (%d vs %d rows)",
+								i, src, out.Cardinality(), refs[i].Cardinality())
+						}
+						// No run may leak server-side resources, faults or not.
+						if n := sys.Srv.OpenCursors(); n != 0 {
+							t.Fatalf("q%d: %d cursor(s) leaked under %q", i, n, src)
+						}
+						if temps := sys.Srv.TempTables(); len(temps) != 0 {
+							t.Fatalf("q%d: temp tables leaked under %q: %v", i, src, temps)
+						}
+					}
+				})
+			}
+			// Session GC: whatever the sweep left behind client-side is
+			// collected when the connection's session ends.
+			if err := sys.MW.Conn.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if temps := sys.Srv.TempTables(); len(temps) != 0 {
+				t.Fatalf("temp tables survived session GC: %v", temps)
+			}
+			if n := sys.Srv.LiveSessions(); n != 0 {
+				t.Fatalf("%d session(s) still live", n)
+			}
+		})
+	}
+}
+
+// TestChaosFallbackLoad demonstrates plan-level graceful degradation
+// for the middleware → DBMS direction: with every bulk load dropped,
+// a plan that ships an intermediate down through T^D cannot run, and
+// the middleware must re-site the query onto the all-DBMS candidate —
+// visibly, via the "fallback" span and the fallback counter.
+func TestChaosFallbackLoad(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sys, err := NewSystem(Config{
+		PositionRows: 700, EmployeeRows: 100, Histograms: 10,
+		Retry: chaosPolicy(), Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := Day(1996, time.January, 1)
+	plans := Q2Plans(end)
+	withTD := plans[0] // P1: TAGGR^M with a T^D shipping the aggregate down
+	allDBMS := plans[5]
+	ref, _, err := sys.RunPlan(allDBMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &optimizer.Result{
+		Best:     withTD.Plan.Clone(),
+		BestCost: 1,
+		Candidates: []optimizer.Candidate{
+			{Plan: withTD.Plan.Clone(), Cost: 1},
+			{Plan: allDBMS.Plan.Clone(), Cost: 2},
+		},
+	}
+	sched, err := wire.ParseSchedule("seed=11;load~drop=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Srv.SetFaults(sched.Injector())
+	defer sys.Srv.SetFaults(nil)
+
+	root := telemetry.NewSpan("query")
+	out, err := sys.MW.ExecuteResult(res, root)
+	root.Finish()
+	if err != nil {
+		t.Fatalf("degraded execution failed: %v", err)
+	}
+	if !rel.EqualAsLists(out, ref) {
+		t.Fatalf("fallback result differs from all-DBMS reference (%d vs %d rows)",
+			out.Cardinality(), ref.Cardinality())
+	}
+	var fb *telemetry.Span
+	for _, c := range root.Children() {
+		if c.Name == "fallback" {
+			fb = c
+		}
+	}
+	if fb == nil {
+		t.Fatalf("no fallback span in trace:\n%s", root.Render())
+	}
+	if got := reg.Counter("tango_plan_fallbacks_total", telemetry.Labels{"op": "load"}).Value(); got < 1 {
+		t.Fatalf("tango_plan_fallbacks_total{op=load} = %d, want >= 1", got)
+	}
+	if n := sys.Srv.OpenCursors(); n != 0 {
+		t.Fatalf("%d cursor(s) leaked", n)
+	}
+	if temps := sys.Srv.TempTables(); len(temps) != 0 {
+		t.Fatalf("temp tables leaked: %v", temps)
+	}
+}
+
+// TestChaosFallbackQueryVisible is the end-to-end acceptance check
+// for the DBMS → middleware direction: an injected T^M failure (the
+// first OPEN trapped past the whole retry budget) must trigger a
+// re-sited fallback plan that is visible in EXPLAIN ANALYZE's span
+// tree and counted in the metrics registry.
+func TestChaosFallbackQueryVisible(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sys, err := NewSystem(Config{
+		PositionRows: 700, EmployeeRows: 100, Histograms: 10,
+		Retry: chaosPolicy(), Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := Day(1996, time.January, 1)
+	// Fault-free reference for the same statement.
+	ref, _, err := sys.MW.Run(Q2Initial(end))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trap the first logical OPEN for the whole retry budget: attempt
+	// i of the first T^M hits trap query@i, so the best plan dies of
+	// an exhausted OpError and the middleware must re-site.
+	n := chaosPolicy().MaxAttempts
+	traps := make([]string, n)
+	for i := range traps {
+		traps[i] = fmt.Sprintf("query@%d=drop", i+1)
+	}
+	sched, err := wire.ParseSchedule("seed=3;" + strings.Join(traps, ";"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Srv.SetFaults(sched.Injector())
+	defer sys.Srv.SetFaults(nil)
+
+	report, out, err := sys.MW.ExplainAnalyze(Q2Initial(end))
+	if err != nil {
+		t.Fatalf("EXPLAIN ANALYZE under query traps: %v", err)
+	}
+	if !rel.EqualAsMultisets(out, ref) {
+		t.Fatalf("fallback result differs from reference (%d vs %d rows)",
+			out.Cardinality(), ref.Cardinality())
+	}
+	if !strings.Contains(report, "fallback") {
+		t.Fatalf("EXPLAIN ANALYZE does not show the fallback:\n%s", report)
+	}
+	if got := reg.Counter("tango_plan_fallbacks_total", telemetry.Labels{"op": "query"}).Value(); got < 1 {
+		t.Fatalf("tango_plan_fallbacks_total{op=query} = %d, want >= 1", got)
+	}
+	if got := reg.Counter("tango_client_gaveup_total", telemetry.Labels{"op": "query"}).Value(); got < 1 {
+		t.Fatalf("tango_client_gaveup_total{op=query} = %d, want >= 1", got)
+	}
+	if got := reg.Counter("tango_client_retries_total", telemetry.Labels{"op": "query"}).Value(); got < 1 {
+		t.Fatalf("tango_client_retries_total{op=query} = %d, want >= 1", got)
+	}
+}

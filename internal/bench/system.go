@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tango/internal/algebra"
+	"tango/internal/client"
 	"tango/internal/engine"
 	"tango/internal/rel"
 	"tango/internal/server"
@@ -61,6 +62,14 @@ type Config struct {
 	// Parallelism bounds middleware operator fan-out (0 = GOMAXPROCS,
 	// 1 = sequential). Results are identical at any setting.
 	Parallelism int
+	// Retry configures the client connection's wire resilience layer
+	// (retries, per-call deadlines, backoff); zero disables it.
+	Retry client.RetryPolicy
+	// Faults, when non-nil, is attached to the server as the wire
+	// fault injector (after the initial data load, which must run
+	// clean); injected faults are exported to Metrics as
+	// tango_wire_injected_faults_total{op,kind}.
+	Faults *wire.FaultInjector
 }
 
 // NewSystem builds, loads, and (optionally) calibrates a system.
@@ -72,6 +81,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Naive:            cfg.Naive,
 		Metrics:          cfg.Metrics,
 		Parallelism:      cfg.Parallelism,
+		Retry:            cfg.Retry,
 		// Every harness-driven run (and therefore every test) validates
 		// optimized plans and executor builds with planck.
 		CheckPlans: true,
@@ -98,6 +108,17 @@ func NewSystem(cfg Config) (*System, error) {
 	empRows := cfg.EmployeeRows
 	if empRows <= 0 {
 		empRows = uis.EmployeeRows
+	}
+	if cfg.Faults != nil {
+		// Attach after the (clean) load; export injections as metrics.
+		if cfg.Metrics != nil {
+			reg := cfg.Metrics
+			cfg.Faults.OnFault = func(op wire.Op, kind wire.FaultKind) {
+				reg.Counter("tango_wire_injected_faults_total",
+					telemetry.Labels{"op": op.String(), "kind": kind.String()}).Inc()
+			}
+		}
+		srv.SetFaults(cfg.Faults)
 	}
 	return &System{DB: db, Srv: srv, MW: mw, Metrics: cfg.Metrics,
 		Parallelism:  cfg.Parallelism,

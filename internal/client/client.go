@@ -3,9 +3,17 @@
 // are exposed through the shared iterator interface; per-query
 // feedback (rows, bytes, wall time) feeds the middleware's adaptive
 // cost calibration.
+//
+// The connection is also the resilience boundary (see retry.go): with
+// a RetryPolicy configured, idempotent operations — cursor OPEN,
+// sequence-numbered FETCH, deduplicated bulk LOAD, the temp-table
+// create/drop protocol, and catalog reads — survive transient wire
+// faults via capped, jittered exponential backoff under per-call
+// deadlines and context cancellation.
 package client
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -28,8 +36,18 @@ type Conn struct {
 	Prefetch int
 	// Metrics, when set, receives wire-level series: serialized bytes
 	// by direction (tango_wire_bytes_total{dir="in"|"out"}), row
-	// counts, statement counters, and per-transfer timing histograms.
+	// counts, statement counters, per-transfer timing histograms, and
+	// the resilience counters (retries, op timeouts, give-ups).
 	Metrics *telemetry.Registry
+	// Retry configures the resilience layer; the zero value disables
+	// retries and deadlines entirely.
+	Retry RetryPolicy
+	// Ctx, when set, bounds every operation on this connection;
+	// cancellation aborts in-flight retry loops. nil means Background.
+	Ctx context.Context
+
+	session *server.Session
+	jitter  *jitterSrc
 }
 
 // record feeds one completed transfer into the wire metrics. dir is
@@ -49,7 +67,24 @@ func (c *Conn) record(dir, kind string, fb Feedback) {
 
 // Connect opens a connection to a server.
 func Connect(srv *server.Server) *Conn {
-	return &Conn{srv: srv}
+	return &Conn{
+		srv:     srv,
+		session: srv.NewSession(),
+		jitter:  newJitterSrc(time.Now().UnixNano()),
+	}
+}
+
+// Close ends the connection's server session; any temp tables the
+// session left behind (a query killed mid-transfer) are
+// garbage-collected server-side.
+func (c *Conn) Close() error {
+	_, err := c.session.Close()
+	return err
+}
+
+// resilient reports whether any resilience machinery is active.
+func (c *Conn) resilient() bool {
+	return c.Retry.MaxAttempts > 1 || c.Retry.OpTimeout > 0 || c.Ctx != nil
 }
 
 // Feedback summarizes one completed transfer for the adaptive cost
@@ -61,17 +96,22 @@ type Feedback struct {
 	Elapsed time.Duration
 }
 
-// Exec runs a non-SELECT statement on the DBMS.
+// Exec runs a non-SELECT statement on the DBMS. Arbitrary statements
+// are not known to be idempotent, so Exec never retries; the
+// idempotent wrappers (CreateTable, DropTable) do.
 func (c *Conn) Exec(sql string) (int64, error) {
 	return c.srv.Exec(sql)
 }
 
 // Query opens a SELECT on the DBMS and returns a pipelined iterator
-// over the deserialized rows. Feedback() on the returned Rows is valid
-// after the iterator is drained or closed.
+// over the deserialized rows. OPEN is idempotent (a lost request
+// opens nothing server-side), so it retries; a cursor opened by an
+// attempt abandoned at its deadline is closed by the reaper.
 func (c *Conn) Query(sql string) (*Rows, error) {
 	start := time.Now()
-	cur, err := c.srv.Query(sql, c.Prefetch)
+	cur, err := doVal(c, "query",
+		func() (*server.Cursor, error) { return c.srv.Query(sql, c.Prefetch) },
+		func(abandoned *server.Cursor) { _ = abandoned.Close() })
 	if err != nil {
 		return nil, err
 	}
@@ -105,22 +145,29 @@ type Rows struct {
 	pos   int
 	done  bool
 
+	// nextSeq is the statement sequence number of the next batch to
+	// request (1-based); retries of one logical fetch reuse it so the
+	// server replays rather than re-produces.
+	nextSeq int64
+
 	win *fetchPipeline // non-nil in windowed mode
 
 	start time.Time
 	fb    Feedback
 }
 
-// fetchPipeline is the windowed-fetch machinery: a requester goroutine
-// issues FETCHes back to back against the serial cursor, and each
-// reply's wire delay is slept in its own delivery goroutine, so up to
-// `window` round trips are in flight concurrently. Replies are
+// fetchPipeline is the windowed-fetch machinery: a requester
+// goroutine issues sequence-numbered FETCHes back to back against the
+// serial cursor (retrying each one through the resilience layer), and
+// each reply's wire delay is slept in its own delivery goroutine, so
+// up to `window` round trips are in flight concurrently. Replies are
 // reassembled in issue order through a queue of single-use futures.
 type fetchPipeline struct {
-	slots chan chan inflight // futures, in fetch order
-	free  chan []byte        // encode buffers on loan to in-flight replies
-	stop  chan struct{}
-	done  chan struct{}
+	slots  chan chan inflight // futures, in fetch order
+	free   chan []byte        // best-effort encode-buffer recycling
+	stop   chan struct{}
+	done   chan struct{}
+	cancel context.CancelFunc
 }
 
 // inflight is one decoded reply.
@@ -138,37 +185,63 @@ func (r *Rows) startPipeline(window int) {
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
-	for i := 0; i < window+1; i++ {
-		p.free <- wire.GetBuf()
-	}
+	// Tie the requester's retry loops to the pipeline lifetime: Close
+	// cancels outstanding backoff sleeps and abandons stalled calls
+	// instead of waiting out the whole retry budget.
+	ctx, cancel := context.WithCancel(r.conn.baseCtx())
+	p.cancel = cancel
+	go func() {
+		select {
+		case <-p.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 	r.win = p
-	go r.requester(p)
+	go r.requester(p, ctx)
+}
+
+// putFree returns an encode buffer to the pipeline's recycle channel,
+// falling back to the global pool when it is full (buffers forfeited
+// to deadline-abandoned attempts make the population fluctuate).
+func putFree(p *fetchPipeline, buf []byte) {
+	select {
+	case p.free <- buf[:0]:
+	default:
+		wire.PutBuf(buf)
+	}
+}
+
+// takeFree borrows a buffer from the recycle channel or the pool.
+func takeFree(p *fetchPipeline) []byte {
+	select {
+	case buf := <-p.free:
+		return buf
+	default:
+		return wire.GetBuf()
+	}
 }
 
 // requester drives the pipelined cursor until end of stream, error,
-// or stop. The final future (nil rows) carries the error/EOS signal,
-// after which the slot queue is closed.
-func (r *Rows) requester(p *fetchPipeline) {
+// or stop. It reserves an in-order future, performs the (retried)
+// fetch-and-decode, and hands the decoded batch to a delivery
+// goroutine that sleeps the reply's wire delay — so consecutive round
+// trips overlap while batches stay strictly ordered. The final future
+// (nil rows) carries the error/EOS signal, after which the slot queue
+// is closed.
+func (r *Rows) requester(p *fetchPipeline, ctx context.Context) {
 	defer close(p.done)
 	var wg sync.WaitGroup
 	defer wg.Wait()
-	for {
-		var buf []byte
-		select {
-		case <-p.stop:
-			return
-		case buf = <-p.free:
-		}
-		payload, delay, err := r.cur.FetchBatchPipelined(buf)
+	for seq := int64(1); ; seq++ {
 		res := make(chan inflight, 1)
 		select {
 		case <-p.stop:
-			p.free <- buf // never blocks: window+1 buffers, window+1 slots
 			return
 		case p.slots <- res:
 		}
-		if err != nil || payload == nil {
-			p.free <- buf
+		rows, nbytes, delay, err := r.fetchPipelined(ctx, seq, p)
+		if err != nil || rows == nil {
 			res <- inflight{err: err}
 			close(p.slots)
 			return
@@ -176,18 +249,49 @@ func (r *Rows) requester(p *fetchPipeline) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Propagation: the reply is on the wire while later
-			// fetches are issued and earlier batches are consumed.
+			// Propagation: the reply is on the wire while later fetches
+			// are issued and earlier batches are consumed.
 			if delay > 0 {
 				time.Sleep(delay)
 			}
-			rows, derr := wire.DecodeBatch(payload)
-			res <- inflight{rows: rows, bytes: len(payload), err: derr}
-			// EncodeBatch may have grown the buffer; recycle the
-			// backing array actually used.
-			p.free <- payload[:0]
+			res <- inflight{rows: rows, bytes: nbytes}
 		}()
 	}
+}
+
+// pipeFetch is one decoded pipelined reply.
+type pipeFetch struct {
+	rows  []types.Tuple
+	bytes int
+	delay time.Duration
+}
+
+// fetchPipelined performs one logical pipelined fetch (retrying under
+// the resilience policy) and returns the decoded batch, its wire
+// size, and its propagation delay. rows == nil with nil error is end
+// of stream. Each attempt owns its encode buffer, so an attempt
+// abandoned at its deadline can never race a retry.
+func (r *Rows) fetchPipelined(ctx context.Context, seq int64, p *fetchPipeline) ([]types.Tuple, int, time.Duration, error) {
+	out, err := doValCtx(r.conn, ctx, "fetch", func() (pipeFetch, error) {
+		buf := takeFree(p)
+		payload, delay, err := r.cur.FetchBatchPipelinedSeq(seq, buf)
+		if err != nil || payload == nil {
+			putFree(p, buf)
+			return pipeFetch{}, err
+		}
+		n := len(payload)
+		rows, derr := wire.DecodeBatch(payload)
+		putFree(p, payload)
+		if derr != nil {
+			// Truncated reply: retry replays the same sequence number.
+			return pipeFetch{}, &corruptReply{err: derr}
+		}
+		return pipeFetch{rows: rows, bytes: n, delay: delay}, nil
+	}, nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return out.rows, out.bytes, out.delay, nil
 }
 
 // fetchWindowed installs the next in-order pipelined batch.
@@ -242,15 +346,61 @@ func (r *Rows) Next() (types.Tuple, bool, error) {
 	}
 }
 
-// fetch pulls and decodes the next wire batch, reusing the row-header
-// slice across fetches (the tuples themselves are fresh allocations, so
-// consumers that retain them are unaffected). Sets done at end of
+// syncFetch is one decoded synchronous reply.
+type syncFetch struct {
+	rows  []types.Tuple
+	bytes int
+}
+
+// fetch pulls and decodes the next wire batch. Sets done at end of
 // stream. In windowed mode it takes the next in-order batch from the
-// pipeline instead.
+// pipeline; otherwise it performs a sequence-numbered fetch through
+// the resilience layer (the fast path without any policy reuses the
+// row-header slice across fetches as before).
 func (r *Rows) fetch() error {
 	if r.win != nil {
 		return r.fetchWindowed()
 	}
+	if !r.conn.resilient() {
+		return r.fetchFast()
+	}
+	seq := r.nextSeq + 1
+	out, err := doVal(r.conn, "fetch", func() (syncFetch, error) {
+		// Each attempt owns its buffer: a deadline-abandoned attempt
+		// still writing can never race the retry or the consumer.
+		buf := wire.GetBuf()
+		defer wire.PutBuf(buf)
+		payload, err := r.cur.FetchBatchSeq(seq, buf)
+		if err != nil || payload == nil {
+			return syncFetch{}, err
+		}
+		rows, derr := wire.DecodeBatch(payload)
+		if derr != nil {
+			// Truncated reply: retry replays the same sequence number.
+			return syncFetch{}, &corruptReply{err: derr}
+		}
+		return syncFetch{rows: rows, bytes: len(payload)}, nil
+	}, nil)
+	if err != nil {
+		return err
+	}
+	if out.rows == nil {
+		r.done = true
+		r.finish()
+		return nil
+	}
+	r.nextSeq = seq
+	r.fb.Bytes += int64(out.bytes)
+	r.batch = out.rows
+	r.pos = 0
+	return nil
+}
+
+// fetchFast is the resilience-free fetch path: the cursor's pooled
+// buffer and the row-header slice are reused across fetches (the
+// tuples themselves are fresh allocations, so consumers that retain
+// them are unaffected).
+func (r *Rows) fetchFast() error {
 	payload, err := r.cur.FetchBatch()
 	if err != nil {
 		return err
@@ -293,14 +443,16 @@ func (r *Rows) NextBatch(dst []types.Tuple) (int, error) {
 	}
 }
 
-// Close stops the fetch pipeline (waiting for in-flight replies, so
-// the serial cursor is quiescent), recycles its wire buffers, and
-// releases the server cursor.
+// Close stops the fetch pipeline — canceling in-flight retry loops
+// and waiting for the requester and every delivery goroutine to join,
+// so the serial cursor is quiescent — recycles its wire buffers, and
+// releases the server cursor. Idempotent.
 func (r *Rows) Close() error {
 	if p := r.win; p != nil {
 		r.win = nil
 		close(p.stop)
 		<-p.done
+		p.cancel()
 		for {
 			select {
 			case buf := <-p.free:
@@ -350,12 +502,34 @@ func (c *Conn) QueryAll(sql string) (*rel.Relation, Feedback, error) {
 // CreateTable issues a CREATE TABLE for the given schema. Qualified
 // column names are mangled ("A.PosID" → "A$PosID") so self-join
 // outputs stay unambiguous; SQL generation uses the same mangling.
+//
+// For transfer temp tables the statement is retried under the
+// drop-and-recreate protocol: every attempt first issues DROP TABLE
+// IF EXISTS, so a half-applied CREATE from a lost acknowledgment
+// cannot wedge the retry. The session registers the table for
+// server-side GC.
 func (c *Conn) CreateTable(name string, schema types.Schema) error {
 	cols := make([]string, schema.Len())
 	for i, col := range schema.Cols {
 		cols[i] = Mangle(col.Name) + " " + col.Kind.String()
 	}
-	_, err := c.srv.Exec("CREATE TABLE " + name + " (" + strings.Join(cols, ", ") + ")")
+	stmt := "CREATE TABLE " + name + " (" + strings.Join(cols, ", ") + ")"
+	isTemp := strings.HasPrefix(name, server.TempPrefix)
+	var err error
+	if isTemp {
+		err = c.do("create", func() error {
+			if _, derr := c.srv.Exec("DROP TABLE IF EXISTS " + name); derr != nil {
+				return derr
+			}
+			_, cerr := c.srv.Exec(stmt)
+			return cerr
+		})
+		if err == nil {
+			c.session.RegisterTemp(name)
+		}
+	} else {
+		_, err = c.srv.Exec(stmt)
+	}
 	return err
 }
 
@@ -365,13 +539,31 @@ func Mangle(name string) string {
 	return strings.ReplaceAll(name, ".", "$")
 }
 
+// loadCounter numbers bulk loads; each logical Load carries one
+// sequence number across all its retry attempts so the server can
+// deduplicate ambiguous deliveries.
+var loadCounter atomic.Int64
+
 // Load bulk-loads rows into an existing table via the direct-path
-// loader, returning transfer feedback.
+// loader, returning transfer feedback. The load carries a statement
+// sequence number, so retries after a lost acknowledgment are
+// answered from the server's load mark instead of double-appending.
 func (c *Conn) Load(table string, rows []types.Tuple) (Feedback, error) {
 	start := time.Now()
-	payload := wire.EncodeBatch(wire.GetBuf(), rows)
-	defer wire.PutBuf(payload)
-	n, err := c.srv.Load(table, payload)
+	var payload []byte
+	pooled := !c.resilient()
+	if pooled {
+		payload = wire.EncodeBatch(wire.GetBuf(), rows)
+		defer wire.PutBuf(payload)
+	} else {
+		// A deadline-abandoned attempt may still be reading the
+		// payload after Load returns; keep it off the pool.
+		payload = wire.EncodeBatch(nil, rows)
+	}
+	seq := loadCounter.Add(1)
+	n, err := doVal(c, "load", func() (int64, error) {
+		return c.srv.LoadSeq(table, payload, seq)
+	}, nil)
 	if err != nil {
 		return Feedback{}, err
 	}
@@ -386,7 +578,7 @@ func (c *Conn) Load(table string, rows []types.Tuple) (Feedback, error) {
 }
 
 // InsertRows loads rows with per-row INSERTs (the slow conventional
-// path, for the ablation experiment).
+// path, for the ablation experiment). Not idempotent; never retried.
 func (c *Conn) InsertRows(table string, rows []types.Tuple) (Feedback, error) {
 	start := time.Now()
 	payload := wire.EncodeBatch(wire.GetBuf(), rows)
@@ -406,15 +598,24 @@ func (c *Conn) InsertRows(table string, rows []types.Tuple) (Feedback, error) {
 }
 
 // DropTable drops a table, ignoring missing tables (used to clean up
-// transfer temporaries).
+// transfer temporaries). DROP IF EXISTS is idempotent, so it retries.
 func (c *Conn) DropTable(name string) error {
-	_, err := c.srv.Exec("DROP TABLE IF EXISTS " + name)
+	err := c.do("drop", func() error {
+		_, derr := c.srv.Exec("DROP TABLE IF EXISTS " + name)
+		return derr
+	})
+	if err == nil {
+		c.session.ForgetTemp(name)
+	}
 	return err
 }
 
-// TableStats fetches catalog statistics for the Statistics Collector.
+// TableStats fetches catalog statistics for the Statistics Collector
+// (read-only, hence retried).
 func (c *Conn) TableStats(table string, histogramBuckets int) (*meta.TableStats, error) {
-	return c.srv.TableStats(table, histogramBuckets)
+	return doVal(c, "stats", func() (*meta.TableStats, error) {
+		return c.srv.TableStats(table, histogramBuckets)
+	}, nil)
 }
 
 // TableSchema fetches a table schema.
@@ -429,5 +630,5 @@ var tempCounter atomic.Int64
 // TempName generates a unique temporary table name; the caller must
 // drop it when the query completes (as §3.2 of the paper requires).
 func (c *Conn) TempName() string {
-	return fmt.Sprintf("TMP_TANGO_%d", tempCounter.Add(1))
+	return fmt.Sprintf("%s%d", server.TempPrefix, tempCounter.Add(1))
 }

@@ -2,10 +2,20 @@
 // every row leaving a query or entering the loader is serialized. The
 // middleware only ever talks to this façade (the paper treats the DBMS
 // as "a quite full featured file system").
+//
+// The façade is where the wire's unreliability is modeled: an attached
+// wire.FaultInjector can drop, stall, or partially deliver any
+// operation. To let the client retry through that, the server's
+// effectful operations are idempotent: cursor fetches carry statement
+// sequence numbers and the last batch is replayable, and bulk loads
+// are deduplicated by a per-table load sequence, so a retry after an
+// ambiguous failure (work done, reply lost) never double-applies.
 package server
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,10 +32,27 @@ type Server struct {
 	db  *engine.DB
 	lat wire.Latency
 
+	// faults, when non-nil, injects wire failures into every op.
+	faults atomic.Pointer[wire.FaultInjector]
+
+	mu       sync.Mutex
+	loadSeqs map[string]loadMark // per-table last applied load sequence
+	sessions map[*Session]bool
+
 	// counters for experiments
 	queries int64
 	rowsOut int64
 	rowsIn  int64
+
+	// openCursors tracks cursors opened but not yet closed (leak
+	// detection for the chaos harness).
+	openCursors int64
+}
+
+// loadMark remembers one applied bulk load for duplicate suppression.
+type loadMark struct {
+	seq  int64
+	rows int64
 }
 
 // New wraps a database in a server with the given latency model.
@@ -39,6 +66,29 @@ func (s *Server) DB() *engine.DB { return s.db }
 
 // SetLatency replaces the latency model (used by experiments).
 func (s *Server) SetLatency(lat wire.Latency) { s.lat = lat }
+
+// SetFaults attaches (or, with nil, detaches) a fault injector. Safe
+// to swap between queries while other connections are idle.
+func (s *Server) SetFaults(f *wire.FaultInjector) { s.faults.Store(f) }
+
+// Faults returns the attached injector (nil when faults are off).
+func (s *Server) Faults() *wire.FaultInjector { return s.faults.Load() }
+
+// decide consults the injector for one op. The returned fault's Kind
+// is KindNone on the clean path. KindStall is served here (the call
+// proceeds after the stall); Drop and Partial are interpreted by the
+// caller because they differ in whether the op's effect happens.
+func (s *Server) decide(op wire.Op) wire.Fault {
+	f := s.faults.Load()
+	if f == nil {
+		return wire.Fault{}
+	}
+	d := f.Decide(op)
+	if d.Kind == wire.KindStall {
+		time.Sleep(d.Stall)
+	}
+	return d
+}
 
 // RegisterMetrics exports the server's traffic counters into the
 // registry and turns on the engine's instrumentation (per-operator
@@ -59,9 +109,30 @@ func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
 	s.db.SetMetrics(reg)
 }
 
-// Exec runs a non-SELECT statement.
+// Exec runs a non-SELECT statement. Exec is not idempotent in
+// general; the client only retries statements it knows are (DROP IF
+// EXISTS, and CREATE TABLE under its drop-and-recreate protocol).
 func (s *Server) Exec(sql string) (int64, error) {
+	if d := s.decide(wire.OpExec); d.Kind == wire.KindDrop {
+		return 0, d.Error(wire.OpExec)
+	} else if d.Kind == wire.KindPartial {
+		// The statement executes but the acknowledgment is lost.
+		n, err := s.exec(sql)
+		if err != nil {
+			return n, err
+		}
+		return 0, d.Error(wire.OpExec)
+	}
+	return s.exec(sql)
+}
+
+func (s *Server) exec(sql string) (int64, error) {
 	s.lat.Charge(len(sql))
+	if name, ok := strings.CutPrefix(sql, "DROP TABLE IF EXISTS "); ok {
+		// The table's identity ends with the drop: a later temp table
+		// reusing the name must not inherit its load-dedup mark.
+		s.forgetLoadMark(strings.TrimSpace(name))
+	}
 	return s.db.Exec(sql)
 }
 
@@ -70,6 +141,11 @@ func (s *Server) Exec(sql string) (int64, error) {
 func (s *Server) Query(sql string, prefetch int) (*Cursor, error) {
 	if prefetch <= 0 {
 		prefetch = wire.DefaultPrefetch
+	}
+	if d := s.decide(wire.OpQuery); d.Kind == wire.KindDrop || d.Kind == wire.KindPartial {
+		// Both directions of loss look the same to the client, and the
+		// server opens nothing, so OPEN is trivially retryable.
+		return nil, d.Error(wire.OpQuery)
 	}
 	s.lat.Charge(len(sql))
 	it, err := s.db.Query(sql)
@@ -80,24 +156,41 @@ func (s *Server) Query(sql string, prefetch int) (*Cursor, error) {
 		return nil, err
 	}
 	atomic.AddInt64(&s.queries, 1)
+	atomic.AddInt64(&s.openCursors, 1)
 	return &Cursor{srv: s, it: it, prefetch: prefetch}, nil
 }
 
-// Cursor is the server side of an open query.
+// OpenCursors reports the number of cursors opened but not yet
+// closed. The chaos harness asserts it returns to zero after every
+// query, faults or not.
+func (s *Server) OpenCursors() int64 {
+	return atomic.LoadInt64(&s.openCursors)
+}
+
+// Cursor is the server side of an open query. Batch production is
+// serial, but the cursor tolerates the concurrency that client-side
+// deadlines create (an abandoned stalled call racing its retry): all
+// fetch paths serialize on an internal lock, and every produced batch
+// carries a 1-based sequence number and stays replayable until the
+// next one is produced.
 type Cursor struct {
 	srv      *Server
 	it       rel.Iterator
 	prefetch int
-	done     bool
-	buf      []byte        // pooled encode scratch, returned on Close
-	rows     []types.Tuple // row-header scratch reused across fetches
+
+	mu     sync.Mutex
+	done   bool
+	closed bool
+	seq    int64         // sequence number of the batch held in rows
+	buf    []byte        // pooled encode scratch for the seq-less API
+	rows   []types.Tuple // current batch (replayable); scratch reused
 }
 
 // Schema returns the result schema.
 func (c *Cursor) Schema() types.Schema { return c.it.Schema() }
 
 // produce pulls the next batch of up to prefetch rows from the
-// result iterator, returning nil at end of stream.
+// result iterator, returning nil at end of stream. Caller holds c.mu.
 func (c *Cursor) produce() ([]types.Tuple, error) {
 	if c.done {
 		return nil, nil
@@ -125,20 +218,76 @@ func (c *Cursor) produce() ([]types.Tuple, error) {
 	return rows, nil
 }
 
+// fetch produces or replays the batch with the given 1-based sequence
+// number, encoding it into dst. seq == 0 means "the next batch". A
+// nil payload signals end of stream. When charge is set the wire
+// delay is slept here; otherwise it is returned for the pipelined
+// client to overlap.
+func (c *Cursor) fetch(seq int64, dst []byte, charge bool) ([]byte, time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.srv.decide(wire.OpFetch)
+	if d.Kind == wire.KindDrop {
+		// Request lost: no work happens.
+		return nil, 0, d.Error(wire.OpFetch)
+	}
+	if seq == 0 {
+		seq = c.seq + 1
+	}
+	var rows []types.Tuple
+	switch {
+	case seq == c.seq+1:
+		var err error
+		rows, err = c.produce()
+		if err != nil {
+			return nil, 0, err
+		}
+		if rows == nil {
+			// End of stream is idempotent: the sequence number does not
+			// advance, and a lost EOS reply is re-answered with EOS.
+			return nil, 0, nil
+		}
+		c.seq = seq
+	case seq == c.seq && c.seq > 0:
+		// Replay: the previous reply was lost or corrupted in flight.
+		rows = c.rows
+	default:
+		return nil, 0, fmt.Errorf("server: cursor out of sync: asked batch %d, at %d", seq, c.seq)
+	}
+	payload := wire.EncodeBatch(dst[:0], rows)
+	var delay time.Duration
+	if charge {
+		c.srv.lat.Charge(len(payload))
+	} else {
+		delay = c.srv.lat.Wire(len(payload))
+	}
+	if d.Kind == wire.KindPartial {
+		// The batch was produced (the sequence number advanced) but the
+		// reply arrives truncated; the client's decode fails and its
+		// retry replays the same sequence number.
+		payload = wire.Corrupt(payload)
+	}
+	return payload, delay, nil
+}
+
 // FetchBatch produces the next serialized batch of up to prefetch
 // rows. It returns nil when the result is exhausted. The returned
 // slice is only valid until the next call.
 func (c *Cursor) FetchBatch() ([]byte, error) {
-	rows, err := c.produce()
-	if err != nil || rows == nil {
-		return nil, err
-	}
 	if c.buf == nil {
 		c.buf = wire.GetBuf()
 	}
-	c.buf = wire.EncodeBatch(c.buf[:0], rows)
-	c.srv.lat.Charge(len(c.buf))
-	return c.buf, nil
+	payload, _, err := c.fetch(0, c.buf, true)
+	return payload, err
+}
+
+// FetchBatchSeq is FetchBatch with an explicit statement sequence
+// number and a caller-owned buffer: asking for the current sequence
+// number replays the last batch (idempotent retry after a lost or
+// corrupted reply); asking for the next one produces it.
+func (c *Cursor) FetchBatchSeq(seq int64, dst []byte) ([]byte, error) {
+	payload, _, err := c.fetch(seq, dst, true)
+	return payload, err
 }
 
 // FetchBatchPipelined is FetchBatch for windowed clients. It encodes
@@ -150,31 +299,70 @@ func (c *Cursor) FetchBatch() ([]byte, error) {
 // pipelined wire protocol with several outstanding FETCH requests
 // does. A nil payload means end of stream.
 func (c *Cursor) FetchBatchPipelined(dst []byte) ([]byte, time.Duration, error) {
-	rows, err := c.produce()
-	if err != nil || rows == nil {
-		return nil, 0, err
-	}
-	payload := wire.EncodeBatch(dst[:0], rows)
-	return payload, c.srv.lat.Wire(len(payload)), nil
+	return c.fetch(0, dst, false)
+}
+
+// FetchBatchPipelinedSeq is FetchBatchPipelined with an explicit
+// sequence number, for retrying windowed clients.
+func (c *Cursor) FetchBatchPipelinedSeq(seq int64, dst []byte) ([]byte, time.Duration, error) {
+	return c.fetch(seq, dst, false)
+}
+
+// Seq returns the sequence number of the last produced batch.
+func (c *Cursor) Seq() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
 }
 
 // Close releases the cursor and returns its pooled encode buffer. The
 // payload returned by the last FetchBatch must not be used after Close.
+// Close is idempotent.
 func (c *Cursor) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.done = true
 	if c.buf != nil {
 		wire.PutBuf(c.buf)
 		c.buf = nil
 	}
 	c.rows = nil
+	if !c.closed {
+		c.closed = true
+		atomic.AddInt64(&c.srv.openCursors, -1)
+	}
 	return c.it.Close()
 }
 
 // Load is the direct-path bulk loader (the paper's SQL*Loader): the
 // payload is a serialized batch ("data file") appended to an existing
-// table with pages filled to capacity.
+// table with pages filled to capacity. Load without a sequence number
+// is not deduplicated; retrying callers use LoadSeq.
 func (s *Server) Load(table string, payload []byte) (int64, error) {
+	return s.LoadSeq(table, payload, 0)
+}
+
+// LoadSeq is Load with a statement sequence number: if the table's
+// last applied load carried the same nonzero seq, the load is a
+// duplicate delivery (the previous reply was lost) and is answered
+// from the mark without re-applying.
+func (s *Server) LoadSeq(table string, payload []byte, seq int64) (int64, error) {
+	d := s.decide(wire.OpLoad)
+	if d.Kind == wire.KindDrop {
+		return 0, d.Error(wire.OpLoad)
+	}
 	s.lat.Charge(len(payload))
+	if seq != 0 {
+		s.mu.Lock()
+		mark, ok := s.loadSeqs[table]
+		s.mu.Unlock()
+		if ok && mark.seq == seq {
+			if d.Kind == wire.KindPartial {
+				return 0, d.Error(wire.OpLoad)
+			}
+			return mark.rows, nil
+		}
+	}
 	rows, err := wire.DecodeBatch(payload)
 	if err != nil {
 		return 0, err
@@ -183,12 +371,28 @@ func (s *Server) Load(table string, payload []byte) (int64, error) {
 		return 0, err
 	}
 	atomic.AddInt64(&s.rowsIn, int64(len(rows)))
+	if seq != 0 {
+		s.mu.Lock()
+		if s.loadSeqs == nil {
+			s.loadSeqs = map[string]loadMark{}
+		}
+		s.loadSeqs[table] = loadMark{seq: seq, rows: int64(len(rows))}
+		s.mu.Unlock()
+	}
+	if d.Kind == wire.KindPartial {
+		// Applied, acknowledgment lost: the retry hits the seq mark.
+		return 0, d.Error(wire.OpLoad)
+	}
 	return int64(len(rows)), nil
 }
 
 // InsertRows is the conventional-path alternative to Load: one INSERT
-// per row. Provided for the bulk-load ablation experiment.
+// per row. Provided for the bulk-load ablation experiment. Not
+// idempotent — the client must not retry it.
 func (s *Server) InsertRows(table string, payload []byte) (int64, error) {
+	if d := s.decide(wire.OpInsert); d.Kind == wire.KindDrop || d.Kind == wire.KindPartial {
+		return 0, d.Error(wire.OpInsert)
+	}
 	s.lat.Charge(len(payload))
 	rows, err := wire.DecodeBatch(payload)
 	if err != nil {
@@ -208,6 +412,9 @@ func (s *Server) InsertRows(table string, payload []byte) (int64, error) {
 // TableStats returns catalog statistics, computing them (ANALYZE) if
 // absent. histogramBuckets applies only when statistics are computed.
 func (s *Server) TableStats(table string, histogramBuckets int) (*meta.TableStats, error) {
+	if d := s.decide(wire.OpStats); d.Kind == wire.KindDrop || d.Kind == wire.KindPartial {
+		return nil, d.Error(wire.OpStats)
+	}
 	s.lat.Charge(len(table))
 	t, err := s.db.Table(table)
 	if err != nil {

@@ -1,0 +1,122 @@
+// Session-scoped temp-table accounting: TRANSFER^D materializes
+// middleware islands into uniquely named temp tables that §3.2
+// requires dropped at query end. Under wire faults the client-side
+// cleanup can fail (or the client can die mid-query), so the server
+// keeps its own ledger per session and garbage-collects whatever is
+// left when the session ends.
+package server
+
+import "strings"
+
+// TempPrefix is the naming prefix of transfer temp tables; the
+// client's TempName generator and the server's orphan scan agree on
+// it.
+const TempPrefix = "TMP_TANGO_"
+
+// Session is the server-side state of one client connection: the set
+// of temp tables it created and has not yet dropped.
+type Session struct {
+	srv *Server
+
+	// guarded by srv.mu (sessions are touched from client retry
+	// goroutines and the GC).
+	temps  map[string]bool
+	closed bool
+}
+
+// NewSession registers a new client session.
+func (s *Server) NewSession() *Session {
+	se := &Session{srv: s, temps: map[string]bool{}}
+	s.mu.Lock()
+	if s.sessions == nil {
+		s.sessions = map[*Session]bool{}
+	}
+	s.sessions[se] = true
+	s.mu.Unlock()
+	return se
+}
+
+// RegisterTemp records that the session created a temp table.
+func (se *Session) RegisterTemp(name string) {
+	if se == nil {
+		return
+	}
+	se.srv.mu.Lock()
+	if !se.closed {
+		se.temps[name] = true
+	}
+	se.srv.mu.Unlock()
+}
+
+// ForgetTemp records that the session dropped a temp table.
+func (se *Session) ForgetTemp(name string) {
+	if se == nil {
+		return
+	}
+	se.srv.mu.Lock()
+	delete(se.temps, name)
+	se.srv.mu.Unlock()
+}
+
+// Close ends the session and garbage-collects its orphaned temp
+// tables, dropping them directly on the engine (no wire, no faults —
+// the connection is gone). It returns the number of tables collected.
+func (se *Session) Close() (int, error) {
+	if se == nil {
+		return 0, nil
+	}
+	se.srv.mu.Lock()
+	if se.closed {
+		se.srv.mu.Unlock()
+		return 0, nil
+	}
+	se.closed = true
+	var orphans []string
+	for name := range se.temps {
+		orphans = append(orphans, name)
+	}
+	se.temps = nil
+	delete(se.srv.sessions, se)
+	se.srv.mu.Unlock()
+
+	var first error
+	collected := 0
+	for _, name := range orphans {
+		if err := se.srv.db.DropTable(name, true); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		collected++
+		se.srv.forgetLoadMark(name)
+	}
+	return collected, first
+}
+
+// forgetLoadMark clears a table's load-dedup mark (the table is gone;
+// a future temp table reusing the name must not inherit it).
+func (s *Server) forgetLoadMark(table string) {
+	s.mu.Lock()
+	delete(s.loadSeqs, table)
+	s.mu.Unlock()
+}
+
+// TempTables lists the transfer temp tables currently present in the
+// DBMS (leak detection for the chaos harness).
+func (s *Server) TempTables() []string {
+	var out []string
+	for _, name := range s.db.TableNames() {
+		if strings.HasPrefix(name, TempPrefix) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// LiveSessions reports the number of open sessions.
+func (s *Server) LiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

@@ -80,6 +80,9 @@ type Options struct {
 	// Parallelism bounds middleware operator fan-out (see
 	// Middleware.Parallelism); 0 means runtime.GOMAXPROCS(0).
 	Parallelism int
+	// Retry configures the connection's wire resilience layer (per-call
+	// deadlines, capped jittered backoff); the zero value disables it.
+	Retry client.RetryPolicy
 }
 
 // Open connects the middleware to a DBMS server.
@@ -87,6 +90,7 @@ func Open(srv *server.Server, opts Options) *Middleware {
 	conn := client.Connect(srv)
 	conn.Prefetch = opts.Prefetch
 	conn.Metrics = opts.Metrics
+	conn.Retry = opts.Retry
 	cat := ConnCatalog{Conn: conn}
 	est := stats.NewEstimator(cat, conn)
 	est.HistogramBuckets = opts.HistogramBuckets
@@ -273,7 +277,9 @@ func (m *Middleware) absorb(ex *Executor) {
 // Run optimizes an initial plan and executes the winner, returning
 // the result and the optimizer's report. The whole lifecycle is
 // traced (optimize → build → execute → transfers); LastTrace returns
-// the span tree.
+// the span tree. When the winning plan dies of a transient
+// infrastructure failure, Run degrades gracefully by re-siting the
+// query onto a fallback candidate (see runWithFallback).
 func (m *Middleware) Run(initial *algebra.Node) (*rel.Relation, *optimizer.Result, error) {
 	root := telemetry.NewSpan("query")
 	defer m.finish(root)
@@ -281,11 +287,28 @@ func (m *Middleware) Run(initial *algebra.Node) (*rel.Relation, *optimizer.Resul
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := m.execute(res.Best, root)
+	out, err := m.ExecuteResult(res, root)
 	if err != nil {
 		return nil, res, err
 	}
 	return out, res, nil
+}
+
+// ExecuteResult executes an optimizer result under the given trace
+// root (nil for untraced), degrading to a fallback candidate when the
+// best plan fails with a transient infrastructure error, and feeds the
+// winning execution back into the cost model. Exposed so harnesses can
+// drive the degradation path with synthetic candidate lists.
+func (m *Middleware) ExecuteResult(res *optimizer.Result, root *telemetry.Span) (*rel.Relation, error) {
+	out, ex, err := m.runWithFallback(res, root, false)
+	if err != nil {
+		return nil, err
+	}
+	m.absorb(ex)
+	m.mu.Lock()
+	m.lastStats = ex.ExecStats()
+	m.mu.Unlock()
+	return out, nil
 }
 
 // LastTrace returns the span tree of the most recent
@@ -335,8 +358,7 @@ func (m *Middleware) ExplainAnalyze(initial *algebra.Node) (string, *rel.Relatio
 	if err != nil {
 		return "", nil, err
 	}
-	ex := m.newExecutor(root, true)
-	out, err := ex.Run(res.Best)
+	out, ex, err := m.runWithFallback(res, root, true)
 	if err != nil {
 		return "", nil, err
 	}

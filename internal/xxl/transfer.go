@@ -129,19 +129,37 @@ func (t *TransferD) Table() string { return t.table }
 // Schema returns the input schema.
 func (t *TransferD) Schema() types.Schema { return t.in.Schema() }
 
-// Run executes the transfer once: create table, drain input, load.
+// Run executes the transfer once: drain input, create table, load.
+// When the bulk load fails with a transient infrastructure error even
+// after the connection's retry budget, Run makes one more full pass
+// under the drop-and-recreate protocol — DROP IF EXISTS, CREATE,
+// re-load — which is safe because the drop discards whatever subset
+// of the first load landed (the per-row INSERT ablation path is not
+// idempotent and is never re-run).
 func (t *TransferD) Run() error {
 	if t.ran {
 		return nil
 	}
 	t.ran = true
-	if err := t.conn.CreateTable(t.table, t.in.Schema()); err != nil {
-		return fmt.Errorf("xxl: transfer^D: %w", err)
-	}
 	src, err := rel.Drain(t.in)
 	if err != nil {
 		return fmt.Errorf("xxl: transfer^D: drain: %w", err)
 	}
+	err = t.createAndLoad(src)
+	if err != nil && !t.UseInserts && client.Degradable(err) {
+		if derr := t.conn.DropTable(t.table); derr == nil {
+			err = t.createAndLoad(src)
+		}
+	}
+	return err
+}
+
+// createAndLoad performs one create-table + load pass.
+func (t *TransferD) createAndLoad(src *rel.Relation) error {
+	if err := t.conn.CreateTable(t.table, src.Schema); err != nil {
+		return fmt.Errorf("xxl: transfer^D: %w", err)
+	}
+	var err error
 	if t.UseInserts {
 		t.fb, err = t.conn.InsertRows(t.table, src.Tuples)
 	} else {
