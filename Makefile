@@ -5,7 +5,7 @@ GO ?= go
 # Fuzz smoke budget per target (ci runs each fuzzer this long).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz chaos bench-smoke bench-json ci clean
+.PHONY: all build vet lint test race fuzz chaos crash bench-smoke bench-json ci clean
 
 # Benchmark report written by bench-json.
 BENCHOUT ?= BENCH_3.json
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test ./internal/sqlparser/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/tsql/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire/ -run='^$$' -fuzz=FuzzParseSchedule -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/storage/ -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME)
 
 # chaos runs the seeded fault-injection sweep (every seed query under
 # drop/stall/partial schedules at both parallelism widths) and the
@@ -47,6 +48,15 @@ fuzz:
 chaos:
 	$(GO) test ./internal/bench/ -run 'Chaos' -race -short
 	$(GO) test ./internal/client/ -run 'Windowed|Do|Backoff' -race
+
+# crash runs the deterministic crash matrix under the race detector:
+# every scripted WAL/page death point in the standard workload is
+# swept (strided in -short), the directory is reopened, and the
+# recovered state must equal a committed pre- or post-load state —
+# never a torn one. Run `go test ./internal/bench/ -run TestCrash`
+# for the unstrided sweep.
+crash:
+	$(GO) test ./internal/bench/ -run 'TestCrash|TestSplitSchedule' -race -short
 
 # bench-smoke runs every benchmark for a single iteration at both
 # GOMAXPROCS widths, so ci catches benchmarks that no longer compile
@@ -67,8 +77,9 @@ bench-json:
 # ci is the full verification gate: compile everything, vet, run the
 # project analyzers, smoke the fuzz targets and the benchmarks, run
 # the test suite under the race detector (tests also planck-check
-# every plan), and run the short chaos sweep under -race.
-ci: build vet lint fuzz race chaos bench-smoke
+# every plan), run the short chaos sweep under -race, and sweep the
+# crash-recovery matrix under -race.
+ci: build vet lint fuzz race chaos crash bench-smoke
 
 clean:
 	$(GO) clean ./...

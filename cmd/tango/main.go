@@ -21,6 +21,7 @@ import (
 	"tango/internal/bench"
 	"tango/internal/client"
 	"tango/internal/rel"
+	"tango/internal/storage"
 	"tango/internal/telemetry"
 	"tango/internal/tsql"
 	"tango/internal/wire"
@@ -38,6 +39,8 @@ func main() {
 	opTimeout := flag.Duration("op-timeout", client.DefaultRetryPolicy().OpTimeout, "per-attempt deadline for a wire call (0 = none)")
 	chaos := flag.String("chaos", "", `inject a deterministic fault schedule into the wire, e.g. "seed=7;stall=2ms;fetch@3=drop;load~partial=0.05"`)
 	chaosSeed := flag.Int64("chaos-seed", 0, "override the fault schedule's seed (replays a chaos run; 0 = keep the schedule's own seed)")
+	dataDir := flag.String("data-dir", "", "persist the database in this directory (WAL-backed durable store; a directory that already holds a database is recovered and reopened; empty = in-memory)")
+	crash := flag.String("crash", "", `kill the store at scripted write points, e.g. "wal@7=torn;page@3=partial" — shares the -chaos grammar; requires -data-dir; restart with the same -data-dir to recover`)
 	flag.Parse()
 
 	quiet := *command != ""
@@ -51,6 +54,7 @@ func main() {
 		retry.OpTimeout = *opTimeout
 	}
 	var faults *wire.FaultInjector
+	var crashPoints []storage.CrashPoint
 	if *chaos != "" {
 		sched, err := wire.ParseSchedule(*chaos)
 		if err != nil {
@@ -60,9 +64,46 @@ func main() {
 		if *chaosSeed != 0 {
 			sched.Seed = *chaosSeed
 		}
-		faults = sched.Injector()
+		// The grammar is shared with the storage crash harness: wire
+		// rules feed the injector, wal@/page@ traps feed the store.
+		wireSched, points, err := bench.SplitSchedule(sched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		crashPoints = append(crashPoints, points...)
+		faults = wireSched.Injector()
 		if !quiet {
 			fmt.Printf("chaos: injecting %q\n", sched.String())
+		}
+	}
+	if *crash != "" {
+		sched, err := wire.ParseSchedule(*crash)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crash:", err)
+			os.Exit(1)
+		}
+		wireSched, points, err := bench.SplitSchedule(sched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crash:", err)
+			os.Exit(1)
+		}
+		if len(wireSched.Traps) != 0 || len(wireSched.Probs) != 0 {
+			fmt.Fprintln(os.Stderr, "crash: wire faults (exec/query/fetch/load/insert/stats) belong to -chaos")
+			os.Exit(1)
+		}
+		crashPoints = append(crashPoints, points...)
+	}
+	var crashScript *storage.CrashScript
+	if len(crashPoints) > 0 {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "crash: storage crash points require -data-dir (the in-memory store has no write points)")
+			os.Exit(1)
+		}
+		crashScript = storage.NewCrashScript(crashPoints...)
+		if !quiet {
+			fmt.Printf("crash: %d scripted write point(s) armed; the store dies there — restart with -data-dir %s to recover\n",
+				len(crashPoints), *dataDir)
 		}
 	}
 	reg := telemetry.NewRegistry()
@@ -75,12 +116,23 @@ func main() {
 		Parallelism:  *parallelism,
 		Retry:        retry,
 		Faults:       faults,
+		DataDir:      *dataDir,
+		Crash:        crashScript,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "boot:", err)
 		os.Exit(1)
 	}
+	defer sys.Close()
 	sys.MW.CheckPlans = *checkPlans
+	if st := sys.Recovery; st != nil && !quiet {
+		fmt.Printf("data-dir %s: recovered in %v — %d WAL record(s) replayed, %d torn tail(s), %d checksum failure(s) repaired, %d load(s) rolled back, %d temp table(s) collected\n",
+			*dataDir, st.Duration.Round(time.Millisecond), st.ReplayedRecords,
+			st.TornTails, st.ChecksumFailures, st.RolledBackLoads, sys.GCCollected)
+		if sys.Reopened {
+			fmt.Println("existing database reopened; UIS load skipped (run ANALYZE output is fresh)")
+		}
+	}
 	if *metricsAddr != "" {
 		addr, stop, err := telemetry.Serve(*metricsAddr, reg)
 		if err != nil {

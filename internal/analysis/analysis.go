@@ -17,7 +17,11 @@
 //     preserving the algebra's schema-propagation invariant;
 //   - faultpath: wire/client call sites neither sever their caller's
 //     context.Context nor classify resilience failures with
-//     unwrap-unsafe type assertions (see faultpath.go).
+//     unwrap-unsafe type assertions (see faultpath.go);
+//   - walorder: in durability-tagged packages (//tango:durability), a
+//     BufferPool.FlushAll is followed by a WAL durability barrier
+//     (Sync/Checkpoint/Close/CommitLoad), keeping the WAL-before-data
+//     protocol machine-checked at its weakest seam (see walorder.go).
 //
 // The framework loads and type-checks packages with the standard
 // library only: `go list -export -json -deps` supplies file lists and
@@ -51,7 +55,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{IterClose, ErrLost, AtomicField, SchemaProp, FaultPath}
+	return []*Analyzer{IterClose, ErrLost, AtomicField, SchemaProp, FaultPath, WALOrder}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

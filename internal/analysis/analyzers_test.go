@@ -10,6 +10,7 @@ func TestErrLost(t *testing.T)     { testAnalyzer(t, ErrLost, "errlost") }
 func TestAtomicField(t *testing.T) { testAnalyzer(t, AtomicField, "atomicfield") }
 func TestSchemaProp(t *testing.T)  { testAnalyzer(t, SchemaProp, "schemaprop") }
 func TestFaultPath(t *testing.T)   { testAnalyzer(t, FaultPath, "faultpath") }
+func TestWALOrder(t *testing.T)    { testAnalyzer(t, WALOrder, "walorder") }
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")

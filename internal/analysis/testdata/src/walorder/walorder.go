@@ -1,0 +1,64 @@
+// Package walorder is a fixture for the walorder analyzer: flushing
+// the buffer pool only stages page images into the WAL buffer, so a
+// FlushAll that is not followed by a durability barrier has published
+// state that a crash can still lose.
+//
+//tango:durability
+package walorder
+
+type pool struct{}
+
+func (pool) FlushAll() error { return nil }
+
+type store struct{}
+
+func (store) Sync() error       { return nil }
+func (store) Checkpoint() error { return nil }
+func (store) CommitLoad() error { return nil }
+func (store) Close() error      { return nil }
+
+// flushThenSync is the canonical good shape: the barrier follows the
+// flush, so the staged page images are forced to disk.
+func flushThenSync(p pool, s store) error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
+// flushThenCheckpoint uses a different barrier; still fine.
+func flushThenCheckpoint(p pool, s store) error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	return s.Checkpoint()
+}
+
+// flushInLoadBracket commits an atomic load after flushing.
+func flushInLoadBracket(p pool, s store) error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	return s.CommitLoad()
+}
+
+// bareFlush publishes staged pages with no barrier at all.
+func bareFlush(p pool) error {
+	return p.FlushAll() // want `FlushAll without a following durability barrier`
+}
+
+// barrierBeforeFlush has the ordering backwards: the sync cannot
+// cover page images staged after it ran.
+func barrierBeforeFlush(p pool, s store) error {
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	return p.FlushAll() // want `FlushAll without a following durability barrier`
+}
+
+// callerOwnsBarrier documents the one legitimate escape hatch: the
+// caller (checkpointLoop) issues the Sync immediately after.
+func callerOwnsBarrier(p pool) error {
+	//lint:ignore walorder barrier lives in checkpointLoop, the only caller
+	return p.FlushAll()
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// WALOrder machine-checks the WAL-before-data protocol at its weakest
+// seam: a BufferPool.FlushAll call stages dirty page images into the
+// WAL's group-commit buffer, but nothing is durable until a barrier —
+// Sync, Checkpoint, Close, or CommitLoad — forces the log to disk. A
+// function in a durability-tagged package (any file carrying a
+// //tango:durability comment) that flushes without a following
+// barrier has published page state whose covering log records can
+// still be lost, which silently re-opens the torn-load window the
+// crash matrix exists to close. Where the barrier intentionally lives
+// in the caller, suppress with //lint:ignore walorder and say where.
+var WALOrder = &Analyzer{
+	Name: "walorder",
+	Doc:  "check that FlushAll is followed by a WAL durability barrier in durability-tagged packages",
+	Run:  runWALOrder,
+}
+
+// walBarriers are the methods that force staged WAL records to disk
+// (or bracket them into an atomic unit, in CommitLoad's case).
+var walBarriers = map[string]bool{
+	"Sync":       true,
+	"Checkpoint": true,
+	"Close":      true,
+	"CommitLoad": true,
+}
+
+func runWALOrder(pass *Pass) error {
+	if !hasDurabilityTag(pass.Files) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var flushes []*ast.CallExpr
+			var barriers []token.Pos
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case sel.Sel.Name == "FlushAll":
+					flushes = append(flushes, call)
+				case walBarriers[sel.Sel.Name]:
+					barriers = append(barriers, call.Pos())
+				}
+				return true
+			})
+			for _, fl := range flushes {
+				followed := false
+				for _, b := range barriers {
+					if b > fl.End() {
+						followed = true
+						break
+					}
+				}
+				if !followed {
+					pass.Reportf(fl.Pos(),
+						"FlushAll without a following durability barrier (Sync/Checkpoint/Close/CommitLoad): staged page images are not durable until the WAL is synced")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// hasDurabilityTag reports whether any file of the package opts into
+// the WAL-ordering check with a //tango:durability comment.
+func hasDurabilityTag(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == "//tango:durability" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+// Crash-schedule plumbing: PR 4's fault-schedule grammar is shared
+// between the wire and the durable store. One seed string like
+//
+//	seed=7;fetch@2=drop;wal@7=torn;page@3=partial
+//
+// drives both chaos surfaces: SplitSchedule routes the wire ops to a
+// wire.FaultInjector and the storage ops (wal, page) to the crash
+// script armed on the FileDisk, so a chaos run is replayable from a
+// single flag.
+package bench
+
+import (
+	"fmt"
+
+	"tango/internal/storage"
+	"tango/internal/wire"
+)
+
+// SplitSchedule divides a fault schedule between the two chaos
+// surfaces. Wire traps and probability rules stay in the returned
+// schedule; storage traps (wal@N=..., page@N=...) become crash points
+// for storage.NewCrashScript. Storage faults must be deterministic
+// traps — probability rules or stall kinds on wal/page are rejected,
+// as is the storage-only "torn" kind on a wire op.
+func SplitSchedule(s wire.Schedule) (wire.Schedule, []storage.CrashPoint, error) {
+	wireSched := wire.Schedule{
+		Seed:      s.Seed,
+		Stall:     s.Stall,
+		MaxFaults: s.MaxFaults,
+	}
+	var points []storage.CrashPoint
+	for _, t := range s.Traps {
+		if !t.Op.StorageOp() {
+			if t.Kind == wire.KindTorn {
+				return wire.Schedule{}, nil, fmt.Errorf(
+					"bench: %v@%d=torn: torn is a storage-only fault kind", t.Op, t.Nth)
+			}
+			wireSched.Traps = append(wireSched.Traps, t)
+			continue
+		}
+		target, err := storage.ParseCrashTarget(t.Op.String())
+		if err != nil {
+			return wire.Schedule{}, nil, err
+		}
+		var mode storage.CrashMode
+		switch t.Kind {
+		case wire.KindDrop:
+			mode = storage.CrashOmit
+		case wire.KindTorn:
+			mode = storage.CrashTorn
+		case wire.KindPartial:
+			mode = storage.CrashPartial
+		default:
+			return wire.Schedule{}, nil, fmt.Errorf(
+				"bench: %v@%d=%v: storage ops crash (drop, torn, partial); they cannot %v",
+				t.Op, t.Nth, t.Kind, t.Kind)
+		}
+		points = append(points, storage.CrashPoint{Target: target, Nth: t.Nth, Mode: mode})
+	}
+	for _, p := range s.Probs {
+		if p.Op.StorageOp() {
+			return wire.Schedule{}, nil, fmt.Errorf(
+				"bench: %v~%v=%g: storage faults must be deterministic traps (%v@n=%v)",
+				p.Op, p.Kind, p.P, p.Op, p.Kind)
+		}
+		if p.Kind == wire.KindTorn {
+			return wire.Schedule{}, nil, fmt.Errorf(
+				"bench: %v~torn=%g: torn is a storage-only fault kind", p.Op, p.P)
+		}
+		wireSched.Probs = append(wireSched.Probs, p)
+	}
+	return wireSched, points, nil
+}

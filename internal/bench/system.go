@@ -36,6 +36,17 @@ type System struct {
 
 	PositionRows int
 	EmployeeRows int
+
+	// Recovery describes what storage recovery did when Config.DataDir
+	// reopened an existing database (nil for in-memory systems).
+	Recovery *storage.RecoveryStats
+	// Reopened reports that DataDir already held the UIS tables: the
+	// load was skipped and statistics were recomputed from the
+	// recovered heaps.
+	Reopened bool
+	// GCCollected is the number of orphaned transfer temp tables the
+	// startup session GC dropped (durable systems only).
+	GCCollected int
 }
 
 // Config sizes and tunes a System.
@@ -70,11 +81,44 @@ type Config struct {
 	// clean); injected faults are exported to Metrics as
 	// tango_wire_injected_faults_total{op,kind}.
 	Faults *wire.FaultInjector
+	// DataDir, when non-empty, opens a durable, crash-recoverable DBMS
+	// in the directory instead of the in-memory default. A directory
+	// that already holds the UIS tables is reopened: WAL recovery runs,
+	// the startup session GC collects orphaned transfer temp tables,
+	// the data load is skipped, and statistics are recomputed from the
+	// recovered heaps.
+	DataDir string
+	// CheckpointBytes overrides the durable store's auto-checkpoint
+	// WAL threshold (DataDir only); 0 keeps the storage default,
+	// negative disables automatic checkpoints.
+	CheckpointBytes int64
+	// Crash, when non-nil, is armed on the durable store before the
+	// load: scripted write points (wal@N, page@N — see SplitSchedule)
+	// kill the store mid-workload. Requires DataDir.
+	Crash *storage.CrashScript
 }
 
 // NewSystem builds, loads, and (optionally) calibrates a system.
 func NewSystem(cfg Config) (*System, error) {
-	db := engine.Open(engine.Config{})
+	var (
+		db     *engine.DB
+		rstats *storage.RecoveryStats
+	)
+	if cfg.DataDir != "" {
+		var err error
+		db, rstats, err = engine.OpenAt(cfg.DataDir, engine.Config{CheckpointBytes: cfg.CheckpointBytes})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Crash != nil {
+			db.FileDisk().SetCrashScript(cfg.Crash)
+		}
+	} else {
+		if cfg.Crash != nil {
+			return nil, fmt.Errorf("bench: Config.Crash requires Config.DataDir (crash points target the durable store)")
+		}
+		db = engine.Open(engine.Config{})
+	}
 	srv := server.New(db, cfg.Latency)
 	mw := tango.Open(srv, tango.Options{
 		HistogramBuckets: cfg.Histograms,
@@ -92,8 +136,34 @@ func NewSystem(cfg Config) (*System, error) {
 			return db.Disk().Snapshot(), db.Pool().Snapshot()
 		}
 	}
+	// Restart path (durable stores only): the session GC re-runs at
+	// startup — sessions that died with the previous process cannot
+	// drop their temp tables themselves — and the recovery outcome is
+	// exported as counters and a startup-trace span.
+	reopened := false
+	gcCollected := 0
+	if db.Durable() {
+		var err error
+		gcCollected, err = srv.StartupGC()
+		if err != nil {
+			return nil, err
+		}
+		server.RegisterRecovery(cfg.Metrics, rstats)
+		mw.SetStartupTrace(server.RecoverySpan(rstats, gcCollected))
+		if _, err := db.Table("POSITION"); err == nil {
+			reopened = true
+		}
+	}
 	hb := cfg.Histograms
-	if _, err := uis.Load(mw.Conn, cfg.PositionRows, cfg.EmployeeRows, hb); err != nil {
+	if reopened {
+		// The data survived the restart; only the statistics (which are
+		// not persisted) must be recomputed from the recovered heaps.
+		for _, name := range db.TableNames() {
+			if _, err := mw.Conn.Exec(fmt.Sprintf("ANALYZE %s HISTOGRAM %d", name, hb)); err != nil {
+				return nil, err
+			}
+		}
+	} else if _, err := uis.Load(mw.Conn, cfg.PositionRows, cfg.EmployeeRows, hb); err != nil {
 		return nil, err
 	}
 	if cfg.Calibrate > 0 {
@@ -122,7 +192,18 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	return &System{DB: db, Srv: srv, MW: mw, Metrics: cfg.Metrics,
 		Parallelism:  cfg.Parallelism,
-		PositionRows: posRows, EmployeeRows: empRows}, nil
+		PositionRows: posRows, EmployeeRows: empRows,
+		Recovery: rstats, Reopened: reopened, GCCollected: gcCollected}, nil
+}
+
+// Close ends the middleware session (collecting its temp tables) and
+// closes the DBMS; durable stores flush and checkpoint.
+func (s *System) Close() error {
+	err := s.MW.Conn.Close()
+	if cerr := s.DB.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // NamedPlan is one of the plan alternatives of §5.2.

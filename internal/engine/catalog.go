@@ -25,7 +25,8 @@ import (
 // writes to the same table must be externally serialized (the
 // middleware issues one statement at a time per connection).
 type DB struct {
-	disk *storage.Disk
+	disk storage.Store
+	fd   *storage.FileDisk // non-nil when the store is durable (OpenAt)
 	pool *storage.BufferPool
 
 	metrics atomic.Pointer[telemetry.Registry]
@@ -48,9 +49,15 @@ type Config struct {
 	// BufferPoolPages is the buffer pool capacity; 0 means a default of
 	// 2048 pages (16 MB).
 	BufferPoolPages int
+	// CheckpointBytes overrides the durable store's WAL-size threshold
+	// for automatic checkpoints (OpenAt only); 0 keeps the storage
+	// default, negative disables automatic checkpoints.
+	CheckpointBytes int64
 }
 
-// Open creates an empty database.
+// Open creates an empty in-memory database (the test and benchmark
+// default — volatile by design). Use OpenAt for a durable,
+// crash-recoverable instance.
 func Open(cfg Config) *DB {
 	if cfg.BufferPoolPages <= 0 {
 		cfg.BufferPoolPages = 2048
@@ -63,8 +70,8 @@ func Open(cfg Config) *DB {
 	}
 }
 
-// Disk exposes the underlying disk for I/O accounting in experiments.
-func (db *DB) Disk() *storage.Disk { return db.disk }
+// Disk exposes the underlying store for I/O accounting in experiments.
+func (db *DB) Disk() storage.Store { return db.disk }
 
 // Pool exposes the buffer pool for hit-ratio accounting.
 func (db *DB) Pool() *storage.BufferPool { return db.pool }
@@ -116,6 +123,12 @@ func (db *DB) CreateTable(name string, schema types.Schema) (*Table, error) {
 		Indexes: map[string]*btree.Tree{},
 	}
 	db.tables[k] = t
+	if err := db.saveCatalogLocked(); err != nil {
+		return nil, err
+	}
+	if err := db.commitDurable(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -134,7 +147,10 @@ func (db *DB) DropTable(name string, ifExists bool) error {
 	}
 	t.Heap.Drop()
 	delete(db.tables, k)
-	return nil
+	if err := db.saveCatalogLocked(); err != nil {
+		return err
+	}
+	return db.commitDurable()
 }
 
 // Table returns the catalog entry for name, or an error.
@@ -181,7 +197,7 @@ func (db *DB) Insert(name string, tuple types.Tuple) error {
 		}
 	}
 	t.Stats = nil // statistics are stale until the next ANALYZE
-	return nil
+	return db.commitDurable()
 }
 
 // BulkLoad appends tuples through the direct-path loader (the paper's
@@ -196,6 +212,14 @@ func (db *DB) BulkLoad(name string, tuples []types.Tuple) error {
 			return fmt.Errorf("engine: %s expects %d values, got %d", name, t.Schema.Len(), len(tp))
 		}
 	}
+	// Durable stores bracket the load so that a crash before the commit
+	// record becomes durable rolls the table back to its pre-load state
+	// — the T^D transfer is atomic.
+	if db.fd != nil {
+		if err := db.fd.BeginLoad(t.Heap.File(), t.Name); err != nil {
+			return err
+		}
+	}
 	if err := t.Heap.BulkLoad(tuples); err != nil {
 		return err
 	}
@@ -205,7 +229,16 @@ func (db *DB) BulkLoad(name string, tuples []types.Tuple) error {
 		}
 	}
 	t.Stats = nil
-	return nil
+	if db.fd != nil {
+		// Page images must precede the commit record in the WAL.
+		if err := db.pool.FlushAll(); err != nil {
+			return err
+		}
+		if err := db.fd.CommitLoad(t.Heap.File()); err != nil {
+			return err
+		}
+	}
+	return db.commitDurable()
 }
 
 // CreateIndex builds a secondary B+-tree index on one column.
@@ -217,7 +250,16 @@ func (db *DB) CreateIndex(table, column string) error {
 	if t.Schema.ColumnIndex(column) < 0 {
 		return fmt.Errorf("engine: no column %s in %s", column, table)
 	}
-	return db.buildIndex(t, strings.ToUpper(column))
+	if err := db.buildIndex(t, strings.ToUpper(column)); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	err = db.saveCatalogLocked()
+	db.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return db.commitDurable()
 }
 
 func (db *DB) buildIndex(t *Table, columnKey string) error {

@@ -1,0 +1,188 @@
+// Durable-engine support: catalog persistence and the restart path.
+//
+// A DB opened with OpenAt sits on a storage.FileDisk. The catalog is
+// serialized to JSON and stored under the "catalog" key of the store's
+// durable metadata — the storage layer stays ignorant of catalog
+// formats, the engine stays ignorant of WAL formats. Every catalog
+// mutation and every write commits through commitDurable: flush the
+// buffer pool (logging page images) and Sync the store (the WAL
+// group-commit barrier). Bulk loads are bracketed by
+// BeginLoad/CommitLoad so a crash mid-load rolls the table back to its
+// pre-load state — T^D transfers are atomic. On restart, OpenAt
+// recovers the store, decodes the catalog, reattaches heap files, and
+// rebuilds the in-memory B+-tree indexes by scanning the recovered
+// heaps.
+//
+//tango:durability
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tango/internal/btree"
+	"tango/internal/storage"
+	"tango/internal/types"
+)
+
+// catalogEntry is the persisted form of one Table.
+type catalogEntry struct {
+	Name    string
+	Schema  types.Schema
+	File    storage.FileID
+	Indexes []string // indexed column keys (upper-case)
+}
+
+// catalogDoc is the persisted catalog.
+type catalogDoc struct {
+	Tables []catalogEntry
+}
+
+// OpenAt opens (creating if needed) a durable database in dir:
+// storage recovery (WAL redo, checksum verification, load rollback)
+// followed by catalog bootstrap and index rebuild. The returned stats
+// describe what recovery did; the server exports them as counters and
+// a startup-trace span.
+func OpenAt(dir string, cfg Config) (*DB, *storage.RecoveryStats, error) {
+	if cfg.BufferPoolPages <= 0 {
+		cfg.BufferPoolPages = 2048
+	}
+	fd, stats, err := storage.Recover(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	if cfg.CheckpointBytes != 0 {
+		fd.CheckpointBytes = cfg.CheckpointBytes
+	}
+	db := &DB{
+		disk:   fd,
+		fd:     fd,
+		pool:   storage.NewBufferPool(fd, cfg.BufferPoolPages),
+		tables: map[string]*Table{},
+	}
+	if err := db.bootstrapCatalog(); err != nil {
+		return nil, stats, err
+	}
+	return db, stats, nil
+}
+
+// FileDisk returns the durable store backing the DB, or nil for an
+// in-memory instance. Harnesses use it to arm crash scripts.
+func (db *DB) FileDisk() *storage.FileDisk { return db.fd }
+
+// Durable reports whether the DB survives restarts.
+func (db *DB) Durable() bool { return db.fd != nil }
+
+// Close makes the database durable and releases it: flush the pool,
+// checkpoint, close the store. In-memory instances close trivially.
+func (db *DB) Close() error {
+	if db.fd == nil {
+		return nil
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	return db.fd.Close()
+}
+
+// Checkpoint forces an incremental checkpoint of the durable store.
+func (db *DB) Checkpoint() error {
+	if db.fd == nil {
+		return nil
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	return db.fd.Checkpoint()
+}
+
+// bootstrapCatalog decodes the persisted catalog and reattaches every
+// surviving table: heap files by ID, indexes rebuilt by heap scan.
+// Tables whose heap file did not survive recovery (a creation whose
+// commit never became durable) are skipped.
+func (db *DB) bootstrapCatalog() error {
+	doc, ok := db.fd.Meta("catalog")
+	if !ok {
+		return nil
+	}
+	var cat catalogDoc
+	if err := json.Unmarshal([]byte(doc), &cat); err != nil {
+		return fmt.Errorf("engine: corrupt persisted catalog: %w", err)
+	}
+	for _, e := range cat.Tables {
+		if !db.fd.HasFile(e.File) {
+			continue
+		}
+		t := &Table{
+			Name:    e.Name,
+			Schema:  e.Schema,
+			Heap:    storage.OpenHeapFile(db.pool, e.File),
+			Indexes: map[string]*btree.Tree{},
+		}
+		db.tables[key(e.Name)] = t
+		for _, col := range e.Indexes {
+			if err := db.buildIndex(t, col); err != nil {
+				return fmt.Errorf("engine: rebuild index %s(%s): %w", e.Name, col, err)
+			}
+		}
+	}
+	return nil
+}
+
+// encodeCatalogLocked serializes the catalog deterministically
+// (tables sorted by key). Caller holds db.mu.
+func (db *DB) encodeCatalogLocked() (string, error) {
+	keys := make([]string, 0, len(db.tables))
+	for k := range db.tables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	doc := catalogDoc{Tables: make([]catalogEntry, 0, len(keys))}
+	for _, k := range keys {
+		t := db.tables[k]
+		idx := make([]string, 0, len(t.Indexes))
+		for col := range t.Indexes {
+			idx = append(idx, col)
+		}
+		sort.Strings(idx)
+		doc.Tables = append(doc.Tables, catalogEntry{
+			Name:    t.Name,
+			Schema:  t.Schema,
+			File:    t.Heap.File(),
+			Indexes: idx,
+		})
+	}
+	buf, err := json.Marshal(&doc)
+	if err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// saveCatalogLocked stages the serialized catalog into the store's
+// durable metadata (it becomes durable at the next Sync). Caller holds
+// db.mu.
+func (db *DB) saveCatalogLocked() error {
+	if db.fd == nil {
+		return nil
+	}
+	doc, err := db.encodeCatalogLocked()
+	if err != nil {
+		return fmt.Errorf("engine: encode catalog: %w", err)
+	}
+	return db.fd.PutMeta("catalog", doc)
+}
+
+// commitDurable is the engine's durability barrier: every dirty page
+// is flushed (logging its WAL image) and the store is synced. No-op on
+// an in-memory DB.
+func (db *DB) commitDurable() error {
+	if db.fd == nil {
+		return nil
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	return db.fd.Sync()
+}

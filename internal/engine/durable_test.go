@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tango/internal/storage"
+	"tango/internal/types"
+)
+
+// durableTestDB seeds the POSITION/EMP fixture into a durable DB.
+func durableTestDB(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, _, err := OpenAt(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("exec %q: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE POSITION (PosID INTEGER, EmpName VARCHAR(40), T1 INTEGER, T2 INTEGER)")
+	mustExec("INSERT INTO POSITION VALUES (1, 'Tom', 2, 20), (1, 'Jane', 5, 25), (2, 'Tom', 5, 10)")
+	mustExec("CREATE TABLE EMP (EmpName VARCHAR(40), Addr VARCHAR(60), Salary FLOAT)")
+	mustExec("INSERT INTO EMP VALUES ('Tom', '12 Elm St', 30.5), ('Jane', '9 Oak Av', 42.0), ('Bob', '1 Pine Rd', 25.0)")
+	if err := db.CreateIndex("POSITION", "PosID"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func queryRows(t *testing.T, db *DB, sql string) []string {
+	t.Helper()
+	r := queryAll(t, db, sql)
+	rows := make([]string, len(r.Tuples))
+	for i, tp := range r.Tuples {
+		parts := make([]string, len(tp))
+		for j, v := range tp {
+			parts[j] = v.AsString()
+		}
+		rows[i] = strings.Join(parts, "|")
+	}
+	return rows
+}
+
+func TestOpenAtSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	db := durableTestDB(t, dir)
+	want := queryRows(t, db, "SELECT * FROM POSITION ORDER BY T1, EmpName")
+	wantJoin := queryRows(t, db,
+		"SELECT p.PosID, e.Salary FROM POSITION p, EMP e WHERE p.EmpName = e.EmpName ORDER BY p.PosID, e.Salary")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, stats, err := OpenAt(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if stats.ChecksumFailures != 0 {
+		t.Errorf("restart recovery stats: %+v", stats)
+	}
+	names := db2.TableNames()
+	if len(names) != 2 || names[0] != "EMP" || names[1] != "POSITION" {
+		t.Fatalf("recovered tables: %v", names)
+	}
+	if got := queryRows(t, db2, "SELECT * FROM POSITION ORDER BY T1, EmpName"); !equalRows(got, want) {
+		t.Errorf("POSITION after restart:\n got %v\nwant %v", got, want)
+	}
+	if got := queryRows(t, db2,
+		"SELECT p.PosID, e.Salary FROM POSITION p, EMP e WHERE p.EmpName = e.EmpName ORDER BY p.PosID, e.Salary"); !equalRows(got, wantJoin) {
+		t.Errorf("join after restart:\n got %v\nwant %v", got, wantJoin)
+	}
+	// The index catalog entry survived and the index was rebuilt.
+	pos, err := db2.Table("POSITION")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Index("PosID") == nil {
+		t.Error("index on POSITION(PosID) not rebuilt after restart")
+	}
+	// The recovered DB accepts further writes.
+	if _, err := db2.Exec("INSERT INTO EMP VALUES ('Ann', '3 Fir Ln', 50.0)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryRows(t, db2, "SELECT COUNT(*) FROM EMP"); len(got) != 1 || got[0] != "4" {
+		t.Errorf("EMP count after insert: %v", got)
+	}
+}
+
+func TestOpenAtKillMinusNine(t *testing.T) {
+	// Abandon the DB without Close: everything committed through the
+	// engine's durability barrier must survive on the WAL alone.
+	dir := t.TempDir()
+	db := durableTestDB(t, dir)
+	want := queryRows(t, db, "SELECT * FROM EMP ORDER BY EmpName")
+	// No Close. Reopen the directory.
+	db2, _, err := OpenAt(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := queryRows(t, db2, "SELECT * FROM EMP ORDER BY EmpName"); !equalRows(got, want) {
+		t.Errorf("EMP after kill -9:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestOpenAtBulkLoadAtomicity(t *testing.T) {
+	// Crash at every WAL write point of a bulk load (the T^D transfer
+	// path: CREATE TABLE + direct-path load); the recovered table must
+	// hold either zero rows (pre-load) or all rows (post-load) — never
+	// a torn prefix. Multi-row INSERT, by contrast, commits per row
+	// (autocommit) and makes no atomicity claim.
+	const rows = 400
+	tuples := make([]types.Tuple, rows)
+	for i := range tuples {
+		tuples[i] = types.Tuple{types.Int(int64(i)), types.Str(fmt.Sprintf("name-%d", i))}
+	}
+
+	workload := func(db *DB) error {
+		if _, err := db.Exec("CREATE TABLE T (ID INTEGER, Name VARCHAR(40))"); err != nil {
+			return err
+		}
+		return db.BulkLoad("T", tuples)
+	}
+
+	// Observer run: count crash points.
+	obs, _, err := OpenAt(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := storage.NewCrashScript()
+	obs.FileDisk().SetCrashScript(script)
+	if err := workload(obs); err != nil {
+		t.Fatal(err)
+	}
+	total := script.Observed(storage.TargetWAL)
+	if total < 3 {
+		t.Fatalf("workload has only %d WAL points", total)
+	}
+
+	for n := int64(1); n <= total; n++ {
+		dir := t.TempDir()
+		db, _, err := OpenAt(dir, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.FileDisk().SetCrashScript(storage.NewCrashScript(
+			storage.CrashPoint{Target: storage.TargetWAL, Nth: n, Mode: storage.CrashTorn}))
+		werr := workload(db)
+		if werr == nil {
+			t.Fatalf("wal@%d: workload survived its crash point", n)
+		}
+		if !errors.Is(werr, storage.ErrCrashed) {
+			t.Fatalf("wal@%d: error %v does not unwrap to ErrCrashed", n, werr)
+		}
+		rec, _, err := OpenAt(dir, Config{})
+		if err != nil {
+			t.Fatalf("wal@%d: recover: %v", n, err)
+		}
+		if _, err := rec.Table("T"); err != nil {
+			// Table creation never committed: pre-CREATE state. Fine.
+			rec.Close()
+			continue
+		}
+		got := queryRows(t, rec, "SELECT COUNT(*) FROM T")
+		if len(got) != 1 || (got[0] != "0" && got[0] != fmt.Sprint(rows)) {
+			t.Errorf("wal@%d: recovered row count %v, want 0 or %d (atomic load)", n, got, rows)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+// Restart support: what the server does when it comes back up on a
+// durable store. Recovery itself belongs to the storage layer
+// (storage.Recover) and catalog bootstrap to the engine (OpenAt); the
+// server's share is the session contract — §3.2's "temp tables are
+// dropped at query end" must hold across a crash, so the orphan GC
+// that normally runs at session close re-runs once at startup — plus
+// exporting what recovery did as counters and a startup-trace span.
+package server
+
+import (
+	"strings"
+
+	"tango/internal/storage"
+	"tango/internal/telemetry"
+)
+
+// StartupGC drops every transfer temp table left behind by sessions
+// that died with the previous process. It is the startup edition of
+// Session.Close's orphan sweep: after a crash there are no live
+// sessions, so anything under TempPrefix is garbage by construction.
+// It returns the number of tables collected.
+func (s *Server) StartupGC() (int, error) {
+	collected := 0
+	var first error
+	for _, name := range s.db.TableNames() {
+		if !strings.HasPrefix(name, TempPrefix) {
+			continue
+		}
+		if err := s.db.DropTable(name, true); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		s.forgetLoadMark(name)
+		collected++
+	}
+	return collected, first
+}
+
+// RegisterRecovery exports one restart's recovery outcome into the
+// registry as monotonic totals. The counters are set once at startup
+// (recovery happens before the server accepts traffic), matching the
+// _total naming so dashboards can rate() them across restarts.
+func RegisterRecovery(reg *telemetry.Registry, stats *storage.RecoveryStats) {
+	if reg == nil || stats == nil {
+		return
+	}
+	reg.Counter("tango_recovery_replayed_records_total", nil).Add(stats.ReplayedRecords)
+	reg.Counter("tango_recovery_torn_tails_total", nil).Add(stats.TornTails)
+	reg.Counter("tango_recovery_checksum_failures_total", nil).Add(stats.ChecksumFailures)
+	reg.Counter("tango_recovery_repaired_pages_total", nil).Add(stats.RepairedPages)
+	reg.Counter("tango_recovery_rolled_back_loads_total", nil).Add(stats.RolledBackLoads)
+}
+
+// RecoverySpan renders one restart's recovery outcome as a span for
+// the startup trace: duration from the recovery pass itself, WAL
+// volume and damage tallies as attributes, and a gc child once the
+// startup temp-table sweep has run.
+func RecoverySpan(stats *storage.RecoveryStats, gcCollected int) *telemetry.Span {
+	if stats == nil {
+		return nil
+	}
+	sp := telemetry.NewSpan("recovery")
+	sp.SetInt("wal_bytes", stats.WALBytes)
+	sp.SetInt("replayed_records", stats.ReplayedRecords)
+	sp.SetInt("torn_tails", stats.TornTails)
+	sp.SetInt("checksum_failures", stats.ChecksumFailures)
+	sp.SetInt("repaired_pages", stats.RepairedPages)
+	sp.SetInt("rolled_back_loads", stats.RolledBackLoads)
+	gc := sp.AddChild("startup_gc", 0)
+	gc.SetInt("temp_tables_collected", int64(gcCollected))
+	sp.AddChild("storage_recover", stats.Duration)
+	sp.Finish()
+	return sp
+}

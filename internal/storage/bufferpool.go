@@ -2,18 +2,20 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
 
-// BufferPool caches pages from a Disk with LRU replacement and
+// BufferPool caches pages from a Store with LRU replacement and
 // write-back of dirty pages. Fetched pages are pinned until Unpin; a
 // pinned page is never evicted. The pool is goroutine-safe at the
 // fetch/unpin level; a fetched *Page must be used by one goroutine at
 // a time.
 type BufferPool struct {
-	disk     *Disk
+	disk     Store
 	capacity int
 
 	mu     sync.Mutex
@@ -32,8 +34,8 @@ type frame struct {
 }
 
 // NewBufferPool creates a pool of the given capacity (in pages) over
-// the disk. Capacity must be at least 1.
-func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+// the store. Capacity must be at least 1.
+func NewBufferPool(disk Store, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -132,19 +134,78 @@ func (bp *BufferPool) Unpin(pid PageID) {
 	}
 }
 
-// FlushAll writes every dirty page back to disk.
+// FlushAll writes every dirty page back to the store, in deterministic
+// (file, page) order. A failed write keeps its frame dirty — the page
+// remains scheduled for a later flush — and the flush continues with
+// the remaining frames; all write errors are aggregated into the
+// returned error. Only frames whose write succeeded have their dirty
+// bit cleared, so a partial failure never strands unwritten data as
+// "clean".
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	dirty := make([]*frame, 0, len(bp.frames))
 	for _, f := range bp.frames {
 		if f.page.dirty {
-			if err := bp.disk.WritePage(f.pid, &f.page); err != nil {
-				return err
-			}
-			f.page.dirty = false
+			dirty = append(dirty, f)
 		}
 	}
-	return nil
+	sort.Slice(dirty, func(i, j int) bool {
+		if dirty[i].pid.File != dirty[j].pid.File {
+			return dirty[i].pid.File < dirty[j].pid.File
+		}
+		return dirty[i].pid.No < dirty[j].pid.No
+	})
+	var errs []error
+	for _, f := range dirty {
+		if err := bp.disk.WritePage(f.pid, &f.page); err != nil {
+			errs = append(errs, fmt.Errorf("flush %v: %w", f.pid, err))
+			continue
+		}
+		f.page.dirty = false
+	}
+	return errors.Join(errs...)
+}
+
+// Dirty returns the number of cached frames whose page is dirty
+// (unflushed). Harnesses use it to assert that no frame leaks past a
+// durability barrier.
+func (bp *BufferPool) Dirty() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, f := range bp.frames {
+		if f.page.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Pinned returns the total pin count across frames; a nonzero value
+// after a query finishes indicates a leaked pin.
+func (bp *BufferPool) Pinned() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, f := range bp.frames {
+		n += f.pins
+	}
+	return n
+}
+
+// CachedPages returns how many pages of the file are resident in the
+// pool (used to verify Invalidate after DropFile).
+func (bp *BufferPool) CachedPages(file FileID) int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for pid := range bp.frames {
+		if pid.File == file {
+			n++
+		}
+	}
+	return n
 }
 
 // Invalidate drops any cached pages of the file without write-back

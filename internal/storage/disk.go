@@ -128,6 +128,55 @@ func (d *Disk) WritePage(pid PageID, src *Page) error {
 	return nil
 }
 
+// hasFile reports whether the file exists.
+func (d *Disk) hasFile(id FileID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.files[id]
+	return ok
+}
+
+// pageCopy returns a copy of the page's bytes, or false if the file or
+// page is gone. It does not count as a read (it serves checkpoints,
+// not queries).
+func (d *Disk) pageCopy(pid PageID) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[pid.File]
+	if !ok || pid.No < 0 || int(pid.No) >= len(pages) {
+		return nil, false
+	}
+	out := make([]byte, PageSize)
+	copy(out, pages[pid.No])
+	return out, true
+}
+
+// fileSizes snapshots the page count of every file.
+func (d *Disk) fileSizes() map[FileID]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[FileID]int, len(d.files))
+	for id, pages := range d.files {
+		out[id] = len(pages)
+	}
+	return out
+}
+
+// lastFileID returns the highest file ID ever allocated.
+func (d *Disk) lastFileID() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nextID
+}
+
+// Sync is the durability barrier. The in-memory disk is volatile by
+// design (it stands in for a remote DBMS's storage in benchmarks), so
+// Sync is a no-op.
+func (d *Disk) Sync() error { return nil }
+
+// Close releases the disk. No-op for the in-memory store.
+func (d *Disk) Close() error { return nil }
+
 // Stats returns the cumulative read and write counts.
 func (d *Disk) Stats() (reads, writes int64) {
 	return d.reads.Load(), d.writes.Load()

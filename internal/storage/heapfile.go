@@ -21,9 +21,20 @@ type RecordID struct {
 	Slot int32
 }
 
-// NewHeapFile creates an empty heap file on the pool's disk.
+// NewHeapFile creates an empty heap file on the pool's store.
 func NewHeapFile(pool *BufferPool) *HeapFile {
 	return &HeapFile{pool: pool, file: pool.disk.CreateFile(), lastPage: -1}
+}
+
+// OpenHeapFile attaches to an existing file on the pool's store —
+// the recovery path, where the file's pages were restored by the WAL
+// redo pass and the catalog remembers which file holds which table.
+func OpenHeapFile(pool *BufferPool, file FileID) *HeapFile {
+	h := &HeapFile{pool: pool, file: file, lastPage: -1}
+	if n := pool.disk.NumPages(file); n > 0 {
+		h.lastPage = int32(n - 1)
+	}
+	return h
 }
 
 // File returns the underlying file ID.

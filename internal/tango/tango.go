@@ -319,6 +319,19 @@ func (m *Middleware) LastTrace() *telemetry.Span {
 	return m.lastTrace
 }
 
+// SetStartupTrace seeds the trace slot with a startup span (e.g. the
+// server's recovery span after a durable reopen) so `\trace` shows
+// what the restart did before the first query replaces it. A nil span
+// is ignored.
+func (m *Middleware) SetStartupTrace(sp *telemetry.Span) {
+	if sp == nil {
+		return
+	}
+	m.mu.Lock()
+	m.lastTrace = sp
+	m.mu.Unlock()
+}
+
 // LastExecStats returns the measured operator tree of the most recent
 // execution, or nil when instrumentation was off.
 func (m *Middleware) LastExecStats() *telemetry.OpStats {

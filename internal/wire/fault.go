@@ -39,10 +39,23 @@ const (
 	OpInsert
 	// OpStats is a catalog statistics request.
 	OpStats
+	// OpWAL is a storage-layer WAL record write. It is not a wire
+	// operation: the shared schedule grammar also scripts disk chaos
+	// (see internal/storage.CrashScript), and bench.SplitSchedule
+	// routes wal@N/page@N entries to the storage layer so one seed
+	// string drives wire and disk faults together.
+	OpWAL
+	// OpPage is a storage-layer data-page write during a checkpoint
+	// (see OpWAL).
+	OpPage
 	numOps
 )
 
-var opNames = [numOps]string{"exec", "query", "fetch", "load", "insert", "stats"}
+var opNames = [numOps]string{"exec", "query", "fetch", "load", "insert", "stats", "wal", "page"}
+
+// StorageOp reports whether the op addresses the storage layer rather
+// than the wire (wal/page entries of a shared schedule).
+func (o Op) StorageOp() bool { return o == OpWAL || o == OpPage }
 
 // String returns the schedule-syntax name of the op.
 func (o Op) String() string {
@@ -80,10 +93,14 @@ const (
 	// the reply (truncated payload, lost acknowledgment). Retries must
 	// be deduplicated by the server.
 	KindPartial
+	// KindTorn is a storage-layer fault: the physical write is cut in
+	// half (a torn WAL record or page frame). Only meaningful on the
+	// storage ops (wal@N=torn); the wire treats it like KindPartial.
+	KindTorn
 	numKinds
 )
 
-var kindNames = [numKinds]string{"none", "drop", "stall", "partial"}
+var kindNames = [numKinds]string{"none", "drop", "stall", "partial", "torn"}
 
 // String returns the schedule-syntax name of the kind.
 func (k FaultKind) String() string {

@@ -18,6 +18,12 @@ func FuzzParseSchedule(f *testing.F) {
 	f.Add(";;,,  ;")
 	f.Add("fetch@18446744073709551615=drop")
 	f.Add("exec~drop=1e-300")
+	// Storage ops share the grammar: one seed string drives wire and
+	// disk chaos (bench.SplitSchedule routes wal/page to the store).
+	f.Add("wal@7=torn")
+	f.Add("page@3=partial")
+	f.Add("seed=11;wal@7=torn;page@3=partial;fetch@2=drop")
+	f.Add("wal@1=drop;wal@2=drop;page@1=torn")
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := ParseSchedule(src)
 		if err != nil {
