@@ -8,7 +8,7 @@ FUZZTIME ?= 10s
 .PHONY: all build vet lint test race fuzz chaos crash bench-smoke bench-json ci clean
 
 # Benchmark report written by bench-json.
-BENCHOUT ?= BENCH_3.json
+BENCHOUT ?= BENCH_6.json
 
 all: ci
 
@@ -18,9 +18,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the project-specific analyzers (iterator lifecycle,
-# dropped errors, mixed atomic/plain field access, hand-written
-# operator schemas) over the whole tree. Exit status 1 means findings.
+# lint runs the project-specific analyzers (iterator and span
+# lifecycles, dropped errors, mixed atomic/plain field access,
+# hand-written operator schemas) over the whole tree. Exit status 1
+# means findings.
 lint:
 	$(GO) run ./cmd/tangolint ./...
 
@@ -60,7 +61,9 @@ crash:
 
 # bench-smoke runs every benchmark for a single iteration at both
 # GOMAXPROCS widths, so ci catches benchmarks that no longer compile
-# or crash without paying for real measurement.
+# or crash without paying for real measurement. The Query1 pattern
+# also matches Query1Tracing, so ci smokes the tracing-overhead pair
+# on every run.
 bench-smoke:
 	$(GO) test ./internal/bench/ -run '^$$' -bench 'Query1|SortM' -benchtime 1x -cpu 1,2
 	$(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime 1x
@@ -69,9 +72,12 @@ bench-smoke:
 # (-cpu 1,4: 1 = sequential algorithms, 4 = windowed fetch pipeline,
 # prefetched transfers, partitioned operators) plus the wire codec
 # benchmarks, and archives the parsed numbers — ns/op, B/op,
-# allocs/op, rows/s, and seq-vs-parallel speedups — in $(BENCHOUT).
+# allocs/op, rows/s, seq-vs-parallel speedups, and the tracing
+# overhead ratio (Query1Tracing vs Query1; bar <= 5%) — in
+# $(BENCHOUT). 15 iterations per benchmark keeps the overhead ratio
+# above measurement noise on small machines.
 bench-json:
-	{ $(GO) test ./internal/bench/ -run '^$$' -bench 'Query1|SortM' -benchtime 5x -cpu 1,4; \
+	{ $(GO) test ./internal/bench/ -run '^$$' -bench 'Query1|SortM' -benchtime 15x -cpu 1,4; \
 	  $(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime 2000x; } | $(GO) run ./cmd/benchjson > $(BENCHOUT)
 
 # ci is the full verification gate: compile everything, vet, run the

@@ -1,12 +1,15 @@
 // Command benchjson converts `go test -bench` text output on stdin
 // into a JSON document on stdout, so benchmark runs can be archived
-// and diffed (`make bench-json` writes BENCH_3.json with it).
+// and diffed (`make bench-json` writes BENCH_6.json with it).
 //
 // Each benchmark line becomes one record carrying the iteration
 // count, ns/op, B/op, allocs/op, and any custom metrics (rows/s). The
 // `-cpu 1,N` convention used by the parallel suite is folded into a
 // speedup table: for every benchmark measured at GOMAXPROCS=1 and at
-// a higher width, speedup = ns/op(seq) / ns/op(widest).
+// a higher width, speedup = ns/op(seq) / ns/op(widest). Benchmarks
+// named "<Name>Tracing" are additionally paired with their plain
+// <Name> baseline at the same width into an overhead table, so the
+// tracing tax is archived next to the numbers it was computed from.
 package main
 
 import (
@@ -37,6 +40,11 @@ type Report struct {
 	CPU     string             `json:"cpu,omitempty"`
 	Results []Result           `json:"results"`
 	Speedup map[string]float64 `json:"speedup,omitempty"`
+	// Overhead pairs each "<Name>Tracing" benchmark with its plain
+	// <Name> baseline at the same GOMAXPROCS:
+	// ns/op(tracing) / ns/op(base) - 1. The tracing acceptance bar is
+	// 0.05 on Query1.
+	Overhead map[string]float64 `json:"overhead,omitempty"`
 }
 
 // parseLine parses one "BenchmarkFoo-4  10  123 ns/op ..." line.
@@ -132,6 +140,27 @@ func main() {
 	}
 	if len(rep.Speedup) == 0 {
 		rep.Speedup = nil
+	}
+	// Tracing overhead: "<Name>Tracing" against "<Name>" at equal procs.
+	rep.Overhead = map[string]float64{}
+	base := map[string]float64{}
+	for _, r := range rep.Results {
+		if !strings.HasSuffix(r.Name, "Tracing") {
+			base[fmt.Sprintf("%s@%d", r.Name, r.Procs)] = r.NsPerOp
+		}
+	}
+	for _, r := range rep.Results {
+		name, ok := strings.CutSuffix(r.Name, "Tracing")
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%s@%d", name, r.Procs)
+		if b := base[key]; b > 0 && r.NsPerOp > 0 {
+			rep.Overhead[key] = r.NsPerOp/b - 1
+		}
+	}
+	if len(rep.Overhead) == 0 {
+		rep.Overhead = nil
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -41,6 +43,9 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 0, "override the fault schedule's seed (replays a chaos run; 0 = keep the schedule's own seed)")
 	dataDir := flag.String("data-dir", "", "persist the database in this directory (WAL-backed durable store; a directory that already holds a database is recovered and reopened; empty = in-memory)")
 	crash := flag.String("crash", "", `kill the store at scripted write points, e.g. "wal@7=torn;page@3=partial" — shares the -chaos grammar; requires -data-dir; restart with the same -data-dir to recover`)
+	trace := flag.Bool("trace", true, "end-to-end distributed tracing: stitched client+DBMS span trees, per-query flight recorder (\\trace, \\flight)")
+	flightDir := flag.String("flight-dir", "", "persist the flight recorder's last-N query traces to <dir>/flight.jsonl (crash-surviving; implies -trace; defaults to -data-dir when durable)")
+	flightSize := flag.Int("flight-size", 64, "query traces retained in the flight recorder ring")
 	flag.Parse()
 
 	quiet := *command != ""
@@ -118,6 +123,8 @@ func main() {
 		Faults:       faults,
 		DataDir:      *dataDir,
 		Crash:        crashScript,
+		Trace:        *trace || *flightDir != "",
+		FlightSize:   *flightSize,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "boot:", err)
@@ -125,6 +132,31 @@ func main() {
 	}
 	defer sys.Close()
 	sys.MW.CheckPlans = *checkPlans
+	if *flightDir != "" && *flightDir != *dataDir {
+		// Read the previous run's log (if any) before SetDir truncates it
+		// for this process.
+		pre, err := telemetry.LoadFlight(filepath.Join(*flightDir, telemetry.FlightFile))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flight-dir:", err)
+			os.Exit(1)
+		}
+		if len(pre) > 0 {
+			sys.PreCrashFlight = pre
+		}
+		if err := sys.Flight.SetDir(*flightDir); err != nil {
+			fmt.Fprintln(os.Stderr, "flight-dir:", err)
+			os.Exit(1)
+		}
+	}
+	if pre := sys.PreCrashFlight; len(pre) > 0 && !quiet {
+		last := pre[len(pre)-1]
+		fmt.Printf("flight: recovered %d pre-crash query trace(s); last: trace %s %q",
+			len(pre), last.TraceID, last.Query)
+		if last.Error != "" {
+			fmt.Printf(" (error: %s)", last.Error)
+		}
+		fmt.Println()
+	}
 	if st := sys.Recovery; st != nil && !quiet {
 		fmt.Printf("data-dir %s: recovered in %v — %d WAL record(s) replayed, %d torn tail(s), %d checksum failure(s) repaired, %d load(s) rolled back, %d temp table(s) collected\n",
 			*dataDir, st.Duration.Round(time.Millisecond), st.ReplayedRecords,
@@ -134,14 +166,21 @@ func main() {
 		}
 	}
 	if *metricsAddr != "" {
-		addr, stop, err := telemetry.Serve(*metricsAddr, reg)
+		telemetry.RegisterRuntimeMetrics(reg)
+		health := func() error {
+			if sys.DB.Durable() && sys.DB.FileDisk().Crashed() {
+				return fmt.Errorf("durable store crashed")
+			}
+			return nil
+		}
+		addr, stop, err := telemetry.ServeWith(*metricsAddr, reg, health)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
 			os.Exit(1)
 		}
 		defer stop()
 		if !quiet {
-			fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+			fmt.Printf("metrics on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof, /healthz)\n", addr)
 		}
 	}
 	if *command != "" {
@@ -154,7 +193,8 @@ func main() {
 	fmt.Printf("loaded POSITION (%d rows), EMPLOYEE (%d rows)\n", sys.PositionRows, sys.EmployeeRows)
 	fmt.Println(`type temporal SQL ("VALIDTIME SELECT ..."), regular SQL, EXPLAIN <query>,`)
 	fmt.Println(`EXPLAIN ANALYZE <query> (measured span + operator profile), \tables,`)
-	fmt.Println(`\stats <table>, \factors, \trace (last query's spans), \metrics, or \q`)
+	fmt.Println(`\stats <table>, \factors, \trace (last query's spans), \flight (last-N`)
+	fmt.Println(`query traces as JSONL), \top (per-session accounting), \metrics, or \q`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -239,6 +279,18 @@ func dispatch(sys *bench.System, line string) error {
 	case line == `\metrics`:
 		return sys.Metrics.WritePrometheus(os.Stdout)
 
+	case line == `\flight`:
+		if sys.Flight == nil {
+			return fmt.Errorf("tracing is off (-trace=false); no flight recorder")
+		}
+		if sys.Flight.Len() == 0 {
+			return fmt.Errorf("no recorded query yet")
+		}
+		return sys.Flight.WriteJSONL(os.Stdout)
+
+	case line == `\top`:
+		return printSessionTop(sys)
+
 	case strings.HasPrefix(upper, "EXPLAIN ANALYZE "):
 		query := strings.TrimSpace(line[len("EXPLAIN ANALYZE "):])
 		plan, err := tsql.Parse(query, sys.MW.Cat)
@@ -283,7 +335,12 @@ func dispatch(sys *bench.System, line string) error {
 
 	case strings.HasPrefix(upper, "SELECT"):
 		start := time.Now()
-		out, _, err := sys.MW.Conn.QueryAll(line)
+		var out *rel.Relation
+		err := tracedPassthrough(sys, "passthrough", line, func() error {
+			var qerr error
+			out, _, qerr = sys.MW.Conn.QueryAll(line)
+			return qerr
+		})
 		if err != nil {
 			return err
 		}
@@ -293,13 +350,113 @@ func dispatch(sys *bench.System, line string) error {
 
 	default:
 		// DDL/DML passthrough.
-		n, err := sys.MW.Conn.Exec(line)
+		var n int64
+		err := tracedPassthrough(sys, "passthrough", line, func() error {
+			var xerr error
+			n, xerr = sys.MW.Conn.Exec(line)
+			return xerr
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("ok (%d rows)\n", n)
 		return nil
 	}
+}
+
+// tracedPassthrough wraps a DBMS passthrough statement in a root query
+// span so passthrough SQL shows up in the flight recorder and the query
+// latency histogram like middleware queries do — in particular, a
+// statement that dies on a store crash leaves a durable flight entry.
+// With tracing off it just runs f.
+func tracedPassthrough(sys *bench.System, kind, sql string, f func() error) error {
+	if sys.Flight == nil {
+		return f()
+	}
+	root := telemetry.NewSpan("query")
+	root.Set("sql", sql)
+	root.Set("kind", kind)
+	pop := sys.MW.Conn.PushTrace(root)
+	err := f()
+	pop()
+	if err != nil {
+		root.Set("error", err.Error())
+	}
+	root.Finish()
+	telemetry.Stitch(root, sys.MW.Conn.TakeRemoteSpans(root.TraceID()))
+	if sys.Metrics != nil {
+		sys.Metrics.Histogram("tango_query_seconds", nil, telemetry.LatencyBuckets).
+			Observe(root.Elapsed().Seconds())
+	}
+	sys.Flight.Record(root, kind, err)
+	return err
+}
+
+// printSessionTop renders the per-session accounting counters
+// (tango_session_*) as one row per session: what each connection has
+// pulled over the wire and cost the engine so far.
+func printSessionTop(sys *bench.System) error {
+	if sys.Metrics == nil {
+		return fmt.Errorf("metrics are off")
+	}
+	type acct struct{ rows, bytes, batches, stmts, hits, misses, evics, wal, spill, temp float64 }
+	sessions := map[string]*acct{}
+	get := func(id string) *acct {
+		a, ok := sessions[id]
+		if !ok {
+			a = &acct{}
+			sessions[id] = a
+		}
+		return a
+	}
+	for _, s := range sys.Metrics.Snapshot() {
+		if !strings.HasPrefix(s.Name, "tango_session_") {
+			continue
+		}
+		id := s.Labels["session"]
+		if id == "" {
+			continue
+		}
+		a := get(id)
+		switch s.Name {
+		case "tango_session_rows_total":
+			a.rows += s.Value
+		case "tango_session_bytes_total":
+			a.bytes += s.Value
+		case "tango_session_batches_total":
+			a.batches += s.Value
+		case "tango_session_statements_total":
+			a.stmts += s.Value
+		case "tango_session_pool_hits_total":
+			a.hits += s.Value
+		case "tango_session_pool_misses_total":
+			a.misses += s.Value
+		case "tango_session_pool_evictions_total":
+			a.evics += s.Value
+		case "tango_session_wal_bytes_total":
+			a.wal += s.Value
+		case "tango_session_spill_bytes_total":
+			a.spill += s.Value
+		case "tango_session_temp_bytes_total":
+			a.temp += s.Value
+		}
+	}
+	if len(sessions) == 0 {
+		return fmt.Errorf("no session activity recorded yet")
+	}
+	ids := make([]string, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Printf("%-8s %10s %12s %8s %6s %10s %10s %6s %12s %12s %12s\n",
+		"session", "rows", "bytes", "batches", "stmts", "pool_hit", "pool_miss", "evict", "wal_bytes", "spill_bytes", "temp_bytes")
+	for _, id := range ids {
+		a := sessions[id]
+		fmt.Printf("%-8s %10.0f %12.0f %8.0f %6.0f %10.0f %10.0f %6.0f %12.0f %12.0f %12.0f\n",
+			id, a.rows, a.bytes, a.batches, a.stmts, a.hits, a.misses, a.evics, a.wal, a.spill, a.temp)
+	}
+	return nil
 }
 
 func printRelation(r *rel.Relation, limit int) {

@@ -21,7 +21,11 @@
 //   - walorder: in durability-tagged packages (//tango:durability), a
 //     BufferPool.FlushAll is followed by a WAL durability barrier
 //     (Sync/Checkpoint/Close/CommitLoad), keeping the WAL-before-data
-//     protocol machine-checked at its weakest seam (see walorder.go).
+//     protocol machine-checked at its weakest seam (see walorder.go);
+//   - spanfinish: every created telemetry.Span-shaped value is
+//     Finished on all paths (an unfinished span never reaches the
+//     flight recorder or the latency histograms), mirroring the
+//     iterclose lifecycle contract for trace spans (see spanfinish.go).
 //
 // The framework loads and type-checks packages with the standard
 // library only: `go list -export -json -deps` supplies file lists and
@@ -55,7 +59,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{IterClose, ErrLost, AtomicField, SchemaProp, FaultPath, WALOrder}
+	return []*Analyzer{IterClose, ErrLost, AtomicField, SchemaProp, FaultPath, WALOrder, SpanFinish}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

@@ -11,6 +11,7 @@ func TestAtomicField(t *testing.T) { testAnalyzer(t, AtomicField, "atomicfield")
 func TestSchemaProp(t *testing.T)  { testAnalyzer(t, SchemaProp, "schemaprop") }
 func TestFaultPath(t *testing.T)   { testAnalyzer(t, FaultPath, "faultpath") }
 func TestWALOrder(t *testing.T)    { testAnalyzer(t, WALOrder, "walorder") }
+func TestSpanFinish(t *testing.T)  { testAnalyzer(t, SpanFinish, "spanfinish") }
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")

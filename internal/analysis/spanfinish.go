@@ -1,0 +1,318 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanFinish verifies the create → annotate → Finish lifecycle of
+// trace spans (anything shaped like telemetry.Span). A span that is
+// never Finished is invisible to the collector's leak detector only
+// because it never completes: its duration stays open-ended, the
+// flight recorder snapshots it as un-Done, and the query latency
+// histogram undercounts. For every function-local span acquired in a
+// function — from telemetry.NewSpan / telemetry.NewRemoteSpan or from
+// a parent's Child call — the analyzer requires that the function
+// either finishes it (a call or defer of Finish) or hands ownership
+// away (returns it, stores it in a field, or passes it to another
+// function, including function literals).
+//
+// It additionally flags early returns between a non-deferred
+// acquisition and its Finish, which leak the span on error paths (the
+// fix is `defer sp.Finish()` or an explicit Finish before the return).
+//
+// AddChild is exempt: it returns an already-finished child used to
+// graft pre-measured durations onto a tree, so there is nothing left
+// to finish. The analysis is intraprocedural, and spans stored in
+// struct fields are exempt — they are finished by whoever owns the
+// struct (e.g. the middleware's finish path).
+var SpanFinish = &Analyzer{
+	Name: "spanfinish",
+	Doc:  "check that every created trace span is Finished on all paths",
+	Run:  runSpanFinish,
+}
+
+// spanMakerNames are package-level constructors whose result is a live
+// span the caller must finish.
+var spanMakerNames = map[string]bool{"NewSpan": true, "NewRemoteSpan": true}
+
+func runSpanFinish(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpanBody(pass, fn.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				checkSpanBody(pass, fn.Body)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanTrack is the per-variable lifecycle record.
+type spanTrack struct {
+	obj        *types.Var
+	name       string
+	acquiredAt token.Pos // NewSpan/NewRemoteSpan/Child site, or NoPos
+	acquireEnd token.Pos // end of the acquiring statement
+	finishes   []iterUse // Finish calls (reusing the iterclose use record)
+	escaped    bool
+}
+
+// checkSpanBody analyzes one function body. Nested function literals
+// are walked for uses (a Finish inside a deferred closure counts) but
+// their own locals are analyzed in their own pass.
+func checkSpanBody(pass *Pass, body *ast.BlockStmt) {
+	tracks := map[*types.Var]*spanTrack{}
+	track := func(obj *types.Var) *spanTrack {
+		t, ok := tracks[obj]
+		if !ok {
+			t = &spanTrack{obj: obj, name: obj.Name()}
+			tracks[obj] = t
+		}
+		return t
+	}
+
+	// localSpanVar resolves an identifier to a function-local (or
+	// parameter) span-shaped variable.
+	localSpanVar := func(id *ast.Ident) *types.Var {
+		obj, _ := pass.Info.Uses[id].(*types.Var)
+		if obj == nil {
+			obj, _ = pass.Info.Defs[id].(*types.Var)
+		}
+		if obj == nil || obj.IsField() || obj.Parent() == nil || obj.Parent() == pass.Pkg.Scope() {
+			return nil
+		}
+		if !isSpanLike(obj.Type()) {
+			return nil
+		}
+		return obj
+	}
+
+	classify := func(id *ast.Ident, sel *ast.SelectorExpr, inDefer bool, stmtEnd token.Pos) {
+		obj := localSpanVar(id)
+		if obj == nil {
+			return
+		}
+		t := track(obj)
+		if sel == nil {
+			// Bare use: returned, assigned into a field/slice, passed as
+			// an argument — ownership handed away.
+			t.escaped = true
+			return
+		}
+		if sel.Sel.Name == "Finish" {
+			t.finishes = append(t.finishes, iterUse{kind: useClose, pos: id.Pos(), stmtEnd: stmtEnd, defer_: inDefer})
+		}
+		// Any other method call (Set, SetInt, Child, Attach, Context,
+		// ...) is a neutral annotation of the still-live span.
+	}
+
+	var curStmt ast.Stmt
+	var visit func(n ast.Node, inDefer bool)
+	visitChildren := func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				visit(c, inDefer)
+			}
+			return false
+		})
+	}
+	visit = func(n ast.Node, inDefer bool) {
+		if n == nil {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				prev := curStmt
+				curStmt = st
+				visit(st, inDefer)
+				curStmt = prev
+			}
+			return
+		case *ast.CaseClause:
+			for _, e := range s.List {
+				visit(e, inDefer)
+			}
+			for _, st := range s.Body {
+				prev := curStmt
+				curStmt = st
+				visit(st, inDefer)
+				curStmt = prev
+			}
+			return
+		case *ast.CommClause:
+			visit(s.Comm, inDefer)
+			for _, st := range s.Body {
+				prev := curStmt
+				curStmt = st
+				visit(st, inDefer)
+				curStmt = prev
+			}
+			return
+		case *ast.DeferStmt:
+			visit(s.Call, true)
+			return
+		case *ast.AssignStmt:
+			// Plain identifiers on the left are (re)definitions, not
+			// uses; complex left-hand sides (fields, indexes) are.
+			for _, lhs := range s.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+					visit(lhs, inDefer)
+				}
+			}
+			for _, rhs := range s.Rhs {
+				visit(rhs, inDefer)
+			}
+			return
+		case *ast.ValueSpec:
+			for _, v := range s.Values {
+				visit(v, inDefer)
+			}
+			return
+		case *ast.FuncLit:
+			// Record uses (finishes in deferred closures count); the
+			// literal's own acquisitions are analyzed in its own pass.
+			visit(s.Body, inDefer)
+			return
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+				if id, ok2 := ast.Unparen(sel.X).(*ast.Ident); ok2 {
+					classify(id, sel, inDefer, stmtEndOr(curStmt, s))
+					for _, arg := range s.Args {
+						visit(arg, inDefer)
+					}
+					return
+				}
+			}
+			visitChildren(s, inDefer)
+			return
+		case *ast.Ident:
+			classify(s, nil, inDefer, stmtEndOr(curStmt, s))
+			return
+		case *ast.SelectorExpr:
+			visit(s.X, inDefer)
+			return
+		}
+		visitChildren(n, inDefer)
+	}
+	visit(body, false)
+
+	// Find acquisitions: sp := NewSpan(...) / NewRemoteSpan(...) /
+	// parent.Child(...). AddChild returns an already-finished span and
+	// is deliberately not an acquisition.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isSpanAcquisition(pass.Info, call) {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := localSpanVar(id); obj != nil {
+			t := track(obj)
+			if t.acquiredAt == token.NoPos {
+				t.acquiredAt = as.Pos()
+				t.acquireEnd = as.End()
+			}
+		}
+		return true
+	})
+
+	for _, t := range tracks {
+		decideSpanTrack(pass, body, t)
+	}
+}
+
+// isSpanAcquisition reports whether the call mints a live span the
+// caller owns: a NewSpan/NewRemoteSpan constructor or a Child method
+// call, in either case returning a span-shaped value.
+func isSpanAcquisition(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || !isSpanLike(sig.Results().At(0).Type()) {
+		return false
+	}
+	if sig.Recv() == nil {
+		return spanMakerNames[fn.Name()]
+	}
+	return fn.Name() == "Child"
+}
+
+// decideSpanTrack reports lifecycle violations for one variable.
+func decideSpanTrack(pass *Pass, body *ast.BlockStmt, t *spanTrack) {
+	if t.acquiredAt == token.NoPos {
+		return // not created here (e.g. a parameter): nothing to enforce
+	}
+	if t.escaped {
+		return // ownership handed away
+	}
+	if len(t.finishes) == 0 {
+		pass.Reportf(t.acquiredAt, "%s is created but never Finished in this function", t.name)
+		return
+	}
+	deferred := false
+	for _, f := range t.finishes {
+		if f.defer_ {
+			deferred = true
+			break
+		}
+	}
+	if deferred {
+		return
+	}
+	firstFinish := t.finishes[0].pos
+	for _, f := range t.finishes {
+		if f.pos < firstFinish {
+			firstFinish = f.pos
+		}
+	}
+	if firstFinish <= t.acquireEnd {
+		return
+	}
+	if leak := findReturnBetween(body, t.acquireEnd, firstFinish); leak != token.NoPos {
+		pass.Reportf(leak, "return leaks span %s: created at line %d, Finished only at line %d (use defer %s.Finish())",
+			t.name, pass.Fset.Position(t.acquiredAt).Line, pass.Fset.Position(firstFinish).Line, t.name)
+	}
+}
+
+// isSpanLike reports whether t follows the telemetry.Span contract:
+// Finish() (optionally returning the elapsed duration) and
+// Child(name string) returning another span. Matching is structural so
+// the analyzer works on any package without importing telemetry.
+func isSpanLike(t types.Type) bool {
+	fin := methodSig(t, "Finish")
+	if fin == nil || fin.Params().Len() != 0 || fin.Results().Len() > 1 {
+		return false
+	}
+	child := methodSig(t, "Child")
+	if child == nil || child.Params().Len() != 1 || child.Results().Len() != 1 {
+		return false
+	}
+	if b, ok := child.Params().At(0).Type().Underlying().(*types.Basic); !ok || b.Kind() != types.String {
+		return false
+	}
+	return true
+}

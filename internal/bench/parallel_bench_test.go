@@ -7,6 +7,7 @@ import (
 
 	"tango/internal/algebra"
 	"tango/internal/tango"
+	"tango/internal/telemetry"
 	"tango/internal/wire"
 )
 
@@ -66,6 +67,50 @@ func runPlanBench(b *testing.B, sys *System, np NamedPlan, sortMem int) {
 func BenchmarkQuery1(b *testing.B) {
 	sys := newBenchSystem(b, 8400)
 	runPlanBench(b, sys, Q1Plans()[0], 0)
+}
+
+// BenchmarkQuery1Tracing is BenchmarkQuery1 with this PR's telemetry
+// pipeline live: a root span per query, trace headers on every wire
+// op, per-attempt client spans, DBMS-side remote spans collected and
+// stitched, the per-op and end-to-end latency histograms, and a
+// flight-recorder snapshot. The registry is attached to the client
+// only — not to the engine, whose per-tuple operator instrumentation
+// is the separate, pre-existing -metrics cost. The delta against
+// BenchmarkQuery1 is the tracing tax; the acceptance bar is <= 5%
+// (archived in BENCH_6.json by bench-json).
+func BenchmarkQuery1Tracing(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	sys, err := NewSystem(Config{PositionRows: 8400, EmployeeRows: 50, Histograms: 10,
+		Trace: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Srv.SetLatency(benchLatency)
+	sys.MW.Conn.Metrics = reg
+	np := Q1Plans()[0]
+	par := runtime.GOMAXPROCS(0)
+	rows := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := telemetry.NewSpan("query")
+		ex := &tango.Executor{Conn: sys.MW.Conn, Cat: sys.MW.Cat, Hint: np.Hint,
+			CheckPlans: true, Parallelism: par, Trace: root, WALProbe: sys.MW.WALProbe}
+		out, err := ex.Run(np.Plan.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		root.Finish()
+		telemetry.Stitch(root, sys.MW.Conn.TakeRemoteSpans(root.TraceID()))
+		reg.Histogram("tango_query_seconds", nil, telemetry.LatencyBuckets).
+			Observe(root.Elapsed().Seconds())
+		sys.Flight.Record(root, np.Name, nil)
+		rows = out.Cardinality()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 && rows > 0 {
+		b.ReportMetric(float64(rows)*float64(b.N)/sec, "rows/s")
+	}
 }
 
 // BenchmarkSortM is SORT^M over an unsorted transfer with a small

@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"tango/internal/algebra"
@@ -36,6 +37,17 @@ type System struct {
 
 	PositionRows int
 	EmployeeRows int
+
+	// Flight is the system's flight recorder (nil unless Config.Trace).
+	Flight *telemetry.Flight
+	// Collector holds DBMS-side spans awaiting stitching (nil unless
+	// Config.Trace).
+	Collector *telemetry.Collector
+	// PreCrashFlight holds the flight entries recovered from a previous
+	// process's flight.jsonl when a durable directory was reopened with
+	// tracing on (nil otherwise) — the queries that were in flight when
+	// the engine died.
+	PreCrashFlight []telemetry.FlightEntry
 
 	// Recovery describes what storage recovery did when Config.DataDir
 	// reopened an existing database (nil for in-memory systems).
@@ -96,6 +108,16 @@ type Config struct {
 	// load: scripted write points (wal@N, page@N — see SplitSchedule)
 	// kill the store mid-workload. Requires DataDir.
 	Crash *storage.CrashScript
+	// Trace enables end-to-end distributed tracing: a span collector is
+	// attached to the server (so DBMS-side op spans are stitched into
+	// every query's span tree) and a flight recorder retains the last
+	// FlightSize query traces. With DataDir set, the flight log is
+	// persisted to <DataDir>/flight.jsonl and a reopen loads the
+	// previous process's log into PreCrashFlight, linking it to the
+	// recovery span.
+	Trace bool
+	// FlightSize caps the flight recorder ring (0 = default 64).
+	FlightSize int
 }
 
 // NewSystem builds, loads, and (optionally) calibrates a system.
@@ -136,6 +158,33 @@ func NewSystem(cfg Config) (*System, error) {
 			return db.Disk().Snapshot(), db.Pool().Snapshot()
 		}
 	}
+	var (
+		flight    *telemetry.Flight
+		collector *telemetry.Collector
+		preCrash  []telemetry.FlightEntry
+	)
+	if cfg.Trace {
+		collector = telemetry.NewCollector(0)
+		srv.SetCollector(collector)
+		flight = telemetry.NewFlight(cfg.FlightSize)
+		mw.Flight = flight
+		if cfg.DataDir != "" {
+			// Read the previous process's flight log (if any) before
+			// SetDir truncates the file for this process's log.
+			var err error
+			preCrash, err = telemetry.LoadFlight(filepath.Join(cfg.DataDir, telemetry.FlightFile))
+			if err != nil {
+				return nil, err
+			}
+			if err := flight.SetDir(cfg.DataDir); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if db.Durable() {
+		fd := db.FileDisk()
+		mw.WALProbe = func() (int64, int64) { return fd.WALStats() }
+	}
 	// Restart path (durable stores only): the session GC re-runs at
 	// startup — sessions that died with the previous process cannot
 	// drop their temp tables themselves — and the recovery outcome is
@@ -149,7 +198,21 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, err
 		}
 		server.RegisterRecovery(cfg.Metrics, rstats)
-		mw.SetStartupTrace(server.RecoverySpan(rstats, gcCollected))
+		rsp := server.RecoverySpan(rstats, gcCollected)
+		// Link the pre-crash flight log into the recovery trace: what
+		// the previous process was doing when it died is part of the
+		// story of this startup.
+		if len(preCrash) > 0 {
+			fc := rsp.AddChild("flight", 0)
+			fc.SetInt("entries", int64(len(preCrash)))
+			last := preCrash[len(preCrash)-1]
+			fc.Set("last_trace_id", last.TraceID)
+			fc.Set("last_query", last.Query)
+			if last.Error != "" {
+				fc.Set("last_error", last.Error)
+			}
+		}
+		mw.SetStartupTrace(rsp)
 		if _, err := db.Table("POSITION"); err == nil {
 			reopened = true
 		}
@@ -193,17 +256,59 @@ func NewSystem(cfg Config) (*System, error) {
 	return &System{DB: db, Srv: srv, MW: mw, Metrics: cfg.Metrics,
 		Parallelism:  cfg.Parallelism,
 		PositionRows: posRows, EmployeeRows: empRows,
+		Flight: flight, Collector: collector, PreCrashFlight: preCrash,
 		Recovery: rstats, Reopened: reopened, GCCollected: gcCollected}, nil
 }
 
-// Close ends the middleware session (collecting its temp tables) and
-// closes the DBMS; durable stores flush and checkpoint.
+// Close ends the middleware session (collecting its temp tables),
+// closes the flight recorder's durable file, and closes the DBMS;
+// durable stores flush and checkpoint.
 func (s *System) Close() error {
 	err := s.MW.Conn.Close()
+	if ferr := s.Flight.Close(); err == nil {
+		err = ferr
+	}
 	if cerr := s.DB.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// QueryLatency summarizes the end-to-end query latency histogram
+// (tango_query_seconds): count, mean, and log-scale quantiles. Zero
+// when metrics are off or no query has completed.
+func (s *System) QueryLatency() LatencySummary {
+	if s.Metrics == nil {
+		return LatencySummary{}
+	}
+	h := s.Metrics.Histogram("tango_query_seconds", nil, telemetry.LatencyBuckets)
+	n := h.Count()
+	if n == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count: n,
+		Mean:  h.Sum() / float64(n),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
+// LatencySummary is a histogram digest: count, mean, and quantiles (in
+// seconds).
+type LatencySummary struct {
+	Count                int64
+	Mean, P50, P99, P999 float64
+}
+
+// String renders the summary for bench reports.
+func (l LatencySummary) String() string {
+	if l.Count == 0 {
+		return "no queries"
+	}
+	return fmt.Sprintf("n=%d mean=%.3fms p50=%.3fms p99=%.3fms p999=%.3fms",
+		l.Count, l.Mean*1e3, l.P50*1e3, l.P99*1e3, l.P999*1e3)
 }
 
 // NamedPlan is one of the plan alternatives of §5.2.

@@ -48,6 +48,12 @@ type Conn struct {
 
 	session *server.Session
 	jitter  *jitterSrc
+	sessLbl string
+
+	// trace is the active trace parent: wire ops create their attempt
+	// spans under it and carry its trace ID across the wire. Swapped
+	// by PushTrace around each query execution.
+	trace atomic.Pointer[telemetry.Span]
 }
 
 // record feeds one completed transfer into the wire metrics. dir is
@@ -63,13 +69,69 @@ func (c *Conn) record(dir, kind string, fb Feedback) {
 	kl := telemetry.Labels{"kind": kind}
 	reg.Counter("tango_client_statements_total", kl).Inc()
 	reg.Histogram("tango_transfer_seconds", kl, telemetry.DurationBuckets).Observe(fb.Elapsed.Seconds())
+	// Per-session attribution, keyed by the server session ID.
+	sl := telemetry.Labels{"session": c.sessLbl, "dir": dir}
+	reg.Counter("tango_session_rows_total", sl).Add(fb.Rows)
+	reg.Counter("tango_session_bytes_total", sl).Add(fb.Bytes)
+	reg.Counter("tango_session_batches_total", sl).Add(fb.Batches)
+	reg.Counter("tango_session_statements_total", telemetry.Labels{"session": c.sessLbl, "kind": kind}).Inc()
+}
+
+// AddSessionStat accumulates one per-session resource counter
+// (tango_session_<stat>_total{session}): buffer-pool hits, WAL bytes,
+// spill bytes — whatever the executor attributes to the query it just
+// ran on this session.
+func (c *Conn) AddSessionStat(stat string, n int64) {
+	if c.Metrics == nil || n == 0 {
+		return
+	}
+	c.Metrics.Counter("tango_session_"+stat+"_total", telemetry.Labels{"session": c.sessLbl}).Add(n)
+}
+
+// SessionID returns the server-side session identifier.
+func (c *Conn) SessionID() int64 { return c.session.ID() }
+
+// PushTrace installs sp as the connection's active trace parent and
+// returns a func restoring the previous one; callers defer it around a
+// query execution. A nil sp disables tracing for the window.
+func (c *Conn) PushTrace(sp *telemetry.Span) func() {
+	prev := c.trace.Swap(sp)
+	return func() { c.trace.Store(prev) }
+}
+
+// TraceSpan returns the active trace parent (nil when tracing is off).
+func (c *Conn) TraceSpan() *telemetry.Span { return c.trace.Load() }
+
+// TakeRemoteSpans drains the server-collected spans of one trace so
+// the caller can stitch them into its span tree.
+func (c *Conn) TakeRemoteSpans(traceID uint64) []*telemetry.Span {
+	return c.srv.Collector().Take(traceID)
+}
+
+// traceHeader encodes a span's context as a wire trace header (nil
+// when tracing is off, which the server treats as "no trace").
+func traceHeader(sp *telemetry.Span) []byte {
+	if sp == nil {
+		return nil
+	}
+	return wire.AppendHeader(nil, wire.Header{TraceID: sp.TraceID(), SpanID: sp.SpanID()})
+}
+
+// observeOp records one wire attempt's latency into the per-op
+// log-scale histogram.
+func (c *Conn) observeOp(op string, d time.Duration) {
+	if c.Metrics != nil {
+		c.Metrics.Histogram("tango_wire_op_seconds", telemetry.Labels{"op": op}, telemetry.LatencyBuckets).Observe(d.Seconds())
+	}
 }
 
 // Connect opens a connection to a server.
 func Connect(srv *server.Server) *Conn {
+	session := srv.NewSession()
 	return &Conn{
 		srv:     srv,
-		session: srv.NewSession(),
+		session: session,
+		sessLbl: fmt.Sprintf("%d", session.ID()),
 		jitter:  newJitterSrc(time.Now().UnixNano()),
 	}
 }
@@ -93,14 +155,24 @@ type Feedback struct {
 	SQL     string
 	Rows    int64
 	Bytes   int64
+	Batches int64
 	Elapsed time.Duration
 }
 
 // Exec runs a non-SELECT statement on the DBMS. Arbitrary statements
 // are not known to be idempotent, so Exec never retries; the
-// idempotent wrappers (CreateTable, DropTable) do.
+// idempotent wrappers (CreateTable, DropTable) do. The single attempt
+// still gets a trace span and a latency observation.
 func (c *Conn) Exec(sql string) (int64, error) {
-	return c.srv.Exec(sql)
+	sp := c.TraceSpan().Child("exec")
+	start := time.Now()
+	n, err := c.srv.ExecHdr(traceHeader(sp), sql)
+	c.observeOp("exec", time.Since(start))
+	if err != nil {
+		sp.Set("error_class", errClass(err))
+	}
+	sp.Finish()
+	return n, err
 }
 
 // Query opens a SELECT on the DBMS and returns a pipelined iterator
@@ -110,7 +182,9 @@ func (c *Conn) Exec(sql string) (int64, error) {
 func (c *Conn) Query(sql string) (*Rows, error) {
 	start := time.Now()
 	cur, err := doVal(c, "query",
-		func() (*server.Cursor, error) { return c.srv.Query(sql, c.Prefetch) },
+		func(sp *telemetry.Span) (*server.Cursor, error) {
+			return c.srv.QueryHdr(traceHeader(sp), sql, c.Prefetch)
+		},
 		func(abandoned *server.Cursor) { _ = abandoned.Close() })
 	if err != nil {
 		return nil, err
@@ -272,9 +346,9 @@ type pipeFetch struct {
 // of stream. Each attempt owns its encode buffer, so an attempt
 // abandoned at its deadline can never race a retry.
 func (r *Rows) fetchPipelined(ctx context.Context, seq int64, p *fetchPipeline) ([]types.Tuple, int, time.Duration, error) {
-	out, err := doValCtx(r.conn, ctx, "fetch", func() (pipeFetch, error) {
+	out, err := doValCtx(r.conn, ctx, "fetch", func(sp *telemetry.Span) (pipeFetch, error) {
 		buf := takeFree(p)
-		payload, delay, err := r.cur.FetchBatchPipelinedSeq(seq, buf)
+		payload, delay, err := r.cur.FetchBatchPipelinedSeqHdr(traceHeader(sp), seq, buf)
 		if err != nil || payload == nil {
 			putFree(p, buf)
 			return pipeFetch{}, err
@@ -312,6 +386,7 @@ func (r *Rows) fetchWindowed() error {
 		return nil
 	}
 	r.fb.Bytes += int64(b.bytes)
+	r.fb.Batches++
 	r.batch = b.rows
 	r.pos = 0
 	return nil
@@ -365,12 +440,12 @@ func (r *Rows) fetch() error {
 		return r.fetchFast()
 	}
 	seq := r.nextSeq + 1
-	out, err := doVal(r.conn, "fetch", func() (syncFetch, error) {
+	out, err := doVal(r.conn, "fetch", func(sp *telemetry.Span) (syncFetch, error) {
 		// Each attempt owns its buffer: a deadline-abandoned attempt
 		// still writing can never race the retry or the consumer.
 		buf := wire.GetBuf()
 		defer wire.PutBuf(buf)
-		payload, err := r.cur.FetchBatchSeq(seq, buf)
+		payload, err := r.cur.FetchBatchSeqHdr(traceHeader(sp), seq, buf)
 		if err != nil || payload == nil {
 			return syncFetch{}, err
 		}
@@ -391,6 +466,7 @@ func (r *Rows) fetch() error {
 	}
 	r.nextSeq = seq
 	r.fb.Bytes += int64(out.bytes)
+	r.fb.Batches++
 	r.batch = out.rows
 	r.pos = 0
 	return nil
@@ -401,7 +477,9 @@ func (r *Rows) fetch() error {
 // tuples themselves are fresh allocations, so consumers that retain
 // them are unaffected).
 func (r *Rows) fetchFast() error {
-	payload, err := r.cur.FetchBatch()
+	start := time.Now()
+	payload, err := r.cur.FetchBatchHdr(traceHeader(r.conn.TraceSpan()))
+	r.conn.observeOp("fetch", time.Since(start))
 	if err != nil {
 		return err
 	}
@@ -411,6 +489,7 @@ func (r *Rows) fetchFast() error {
 		return nil
 	}
 	r.fb.Bytes += int64(len(payload))
+	r.fb.Batches++
 	batch, err := wire.DecodeBatchInto(r.batch[:0], payload)
 	if err != nil {
 		return err
@@ -517,18 +596,18 @@ func (c *Conn) CreateTable(name string, schema types.Schema) error {
 	isTemp := strings.HasPrefix(name, server.TempPrefix)
 	var err error
 	if isTemp {
-		err = c.do("create", func() error {
-			if _, derr := c.srv.Exec("DROP TABLE IF EXISTS " + name); derr != nil {
+		err = c.do("create", func(sp *telemetry.Span) error {
+			if _, derr := c.srv.ExecHdr(traceHeader(sp), "DROP TABLE IF EXISTS "+name); derr != nil {
 				return derr
 			}
-			_, cerr := c.srv.Exec(stmt)
+			_, cerr := c.srv.ExecHdr(traceHeader(sp), stmt)
 			return cerr
 		})
 		if err == nil {
 			c.session.RegisterTemp(name)
 		}
 	} else {
-		_, err = c.srv.Exec(stmt)
+		_, err = c.Exec(stmt)
 	}
 	return err
 }
@@ -561,8 +640,8 @@ func (c *Conn) Load(table string, rows []types.Tuple) (Feedback, error) {
 		payload = wire.EncodeBatch(nil, rows)
 	}
 	seq := loadCounter.Add(1)
-	n, err := doVal(c, "load", func() (int64, error) {
-		return c.srv.LoadSeq(table, payload, seq)
+	n, err := doVal(c, "load", func(sp *telemetry.Span) (int64, error) {
+		return c.srv.LoadSeqHdr(traceHeader(sp), table, payload, seq)
 	}, nil)
 	if err != nil {
 		return Feedback{}, err
@@ -571,6 +650,7 @@ func (c *Conn) Load(table string, rows []types.Tuple) (Feedback, error) {
 		SQL:     "LOAD " + table,
 		Rows:    n,
 		Bytes:   int64(len(payload)),
+		Batches: 1,
 		Elapsed: time.Since(start),
 	}
 	c.record("out", "load", fb)
@@ -583,7 +663,13 @@ func (c *Conn) InsertRows(table string, rows []types.Tuple) (Feedback, error) {
 	start := time.Now()
 	payload := wire.EncodeBatch(wire.GetBuf(), rows)
 	defer wire.PutBuf(payload)
-	n, err := c.srv.InsertRows(table, payload)
+	sp := c.TraceSpan().Child("insert")
+	n, err := c.srv.InsertRowsHdr(traceHeader(sp), table, payload)
+	c.observeOp("insert", time.Since(start))
+	if err != nil {
+		sp.Set("error_class", errClass(err))
+	}
+	sp.Finish()
 	if err != nil {
 		return Feedback{}, err
 	}
@@ -591,6 +677,7 @@ func (c *Conn) InsertRows(table string, rows []types.Tuple) (Feedback, error) {
 		SQL:     "INSERT " + table,
 		Rows:    n,
 		Bytes:   int64(len(payload)),
+		Batches: 1,
 		Elapsed: time.Since(start),
 	}
 	c.record("out", "insert", fb)
@@ -600,8 +687,8 @@ func (c *Conn) InsertRows(table string, rows []types.Tuple) (Feedback, error) {
 // DropTable drops a table, ignoring missing tables (used to clean up
 // transfer temporaries). DROP IF EXISTS is idempotent, so it retries.
 func (c *Conn) DropTable(name string) error {
-	err := c.do("drop", func() error {
-		_, derr := c.srv.Exec("DROP TABLE IF EXISTS " + name)
+	err := c.do("drop", func(sp *telemetry.Span) error {
+		_, derr := c.srv.ExecHdr(traceHeader(sp), "DROP TABLE IF EXISTS "+name)
 		return derr
 	})
 	if err == nil {
@@ -613,8 +700,8 @@ func (c *Conn) DropTable(name string) error {
 // TableStats fetches catalog statistics for the Statistics Collector
 // (read-only, hence retried).
 func (c *Conn) TableStats(table string, histogramBuckets int) (*meta.TableStats, error) {
-	return doVal(c, "stats", func() (*meta.TableStats, error) {
-		return c.srv.TableStats(table, histogramBuckets)
+	return doVal(c, "stats", func(sp *telemetry.Span) (*meta.TableStats, error) {
+		return c.srv.TableStatsHdr(traceHeader(sp), table, histogramBuckets)
 	}, nil)
 }
 

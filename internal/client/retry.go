@@ -198,6 +198,27 @@ func retryable(err error) bool {
 	return wire.Retryable(err) || errors.Is(err, errOpTimeout) || errors.As(err, &cr)
 }
 
+// errClass names an attempt failure for span attributes — the same
+// taxonomy retryable() classifies by, but as a label a trace reader
+// can group on.
+func errClass(err error) string {
+	var cr *corruptReply
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, errOpTimeout):
+		return "timeout"
+	case errors.As(err, &cr):
+		return "corrupt"
+	case wire.Retryable(err):
+		return "fault"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
 // Degradable reports whether err is an infrastructure failure the
 // executor may respond to by re-siting the plan (as opposed to a
 // semantic error that would fail on any plan): a resilience-layer
@@ -321,19 +342,33 @@ func abandon[T any](done <-chan result[T], discard func(T)) {
 // the whole loop is bounded by Deadline and ctx. Non-retryable errors
 // surface immediately. discard disposes of values produced by
 // deadline-abandoned attempts.
-func doValCtx[T any](c *Conn, ctx context.Context, op string, f func() (T, error), discard func(T)) (T, error) {
+//
+// f receives the attempt's span so it can propagate the trace context
+// across the wire (traceHeader) — each retry attempt is its own child
+// span of the connection's active trace, tagged with its attempt
+// number and, on failure, its error class. With tracing off the span
+// is nil and f's header is empty.
+func doValCtx[T any](c *Conn, ctx context.Context, op string, f func(sp *telemetry.Span) (T, error), discard func(T)) (T, error) {
 	start := time.Now()
 	attempts := c.Retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
+	parent := c.TraceSpan()
 	var zero T
 	var last error
 	for i := 1; ; i++ {
-		v, err := attemptVal(c, ctx, f, discard)
+		asp := parent.Child(op)
+		asp.SetInt("attempt", int64(i))
+		attemptStart := time.Now()
+		v, err := attemptVal(c, ctx, func() (T, error) { return f(asp) }, discard)
+		c.observeOp(op, time.Since(attemptStart))
 		if err == nil {
+			asp.Finish()
 			return v, nil
 		}
+		asp.Set("error_class", errClass(err))
+		asp.Finish()
 		if errors.Is(err, errOpTimeout) {
 			c.countTimeout(op)
 		}
@@ -370,13 +405,13 @@ func doValCtx[T any](c *Conn, ctx context.Context, op string, f func() (T, error
 }
 
 // doVal is doValCtx under the connection's base context.
-func doVal[T any](c *Conn, op string, f func() (T, error), discard func(T)) (T, error) {
+func doVal[T any](c *Conn, op string, f func(sp *telemetry.Span) (T, error), discard func(T)) (T, error) {
 	return doValCtx(c, c.baseCtx(), op, f, discard)
 }
 
 // do runs one logical idempotent operation that produces no value.
-func (c *Conn) do(op string, f func() error) error {
-	_, err := doVal(c, op, func() (struct{}, error) { return struct{}{}, f() }, nil)
+func (c *Conn) do(op string, f func(sp *telemetry.Span) error) error {
+	_, err := doVal(c, op, func(sp *telemetry.Span) (struct{}, error) { return struct{}{}, f(sp) }, nil)
 	return err
 }
 

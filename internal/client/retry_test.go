@@ -144,7 +144,7 @@ func TestDoRetriesTransientThenSucceeds(t *testing.T) {
 			jitter: newJitterSrc(1),
 		}
 		calls := 0
-		err := c.do("load", func() error {
+		err := c.do("load", func(_ *telemetry.Span) error {
 			calls++
 			if calls <= k {
 				return &wire.FaultError{Op: wire.OpLoad, Kind: wire.KindDrop, Index: int64(calls)}
@@ -183,7 +183,7 @@ func TestDoNonRetryableSurfacesImmediately(t *testing.T) {
 	}
 	sem := errors.New("no such table FOO")
 	calls := 0
-	err := c.do("exec", func() error { calls++; return sem })
+	err := c.do("exec", func(_ *telemetry.Span) error { calls++; return sem })
 	if !errors.Is(err, sem) || calls != 1 {
 		t.Fatalf("got err=%v after %d call(s), want the semantic error after exactly 1", err, calls)
 	}
@@ -206,7 +206,7 @@ func TestDoContextCancellation(t *testing.T) {
 		jitter: newJitterSrc(1),
 	}
 	calls := 0
-	err := c.do("fetch", func() error {
+	err := c.do("fetch", func(_ *telemetry.Span) error {
 		calls++
 		if calls == 2 {
 			cancel()
@@ -242,7 +242,7 @@ func TestOpTimeoutAbandonsAndDiscards(t *testing.T) {
 	// Attempts run concurrently with their abandoned predecessors (by
 	// design), so the attempt counter must be atomic.
 	var calls atomic.Int64
-	v, err := doVal(c, "query", func() (int, error) {
+	v, err := doVal(c, "query", func(_ *telemetry.Span) (int, error) {
 		if calls.Add(1) == 1 {
 			<-release // first attempt stalls past its deadline
 			return 41, nil

@@ -98,6 +98,9 @@ func (db *DB) SetMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("tango_bufferpool_misses", nil, func() float64 {
 		return float64(db.pool.Snapshot().Misses)
 	})
+	reg.GaugeFunc("tango_bufferpool_evictions", nil, func() float64 {
+		return float64(db.pool.Snapshot().Evictions)
+	})
 	reg.GaugeFunc("tango_bufferpool_hit_ratio", nil, func() float64 {
 		return db.pool.Snapshot().HitRatio()
 	})

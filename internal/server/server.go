@@ -35,6 +35,12 @@ type Server struct {
 	// faults, when non-nil, injects wire failures into every op.
 	faults atomic.Pointer[wire.FaultInjector]
 
+	// collector, when non-nil, receives finished server-side spans for
+	// wire ops that arrive with a trace header (see trace.go).
+	collector atomic.Pointer[telemetry.Collector]
+	// badHeaders counts requests whose trace header failed to decode.
+	badHeaders int64
+
 	mu       sync.Mutex
 	loadSeqs map[string]loadMark // per-table last applied load sequence
 	sessions map[*Session]bool
@@ -105,6 +111,9 @@ func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
 	})
 	reg.GaugeFunc("tango_server_rows_in", nil, func() float64 {
 		return float64(atomic.LoadInt64(&s.rowsIn))
+	})
+	reg.GaugeFunc("tango_wire_bad_headers_total", nil, func() float64 {
+		return float64(atomic.LoadInt64(&s.badHeaders))
 	})
 	s.db.SetMetrics(reg)
 }

@@ -6,7 +6,10 @@
 // left when the session ends.
 package server
 
-import "strings"
+import (
+	"strings"
+	"sync/atomic"
+)
 
 // TempPrefix is the naming prefix of transfer temp tables; the
 // client's TempName generator and the server's orphan scan agree on
@@ -17,6 +20,7 @@ const TempPrefix = "TMP_TANGO_"
 // of temp tables it created and has not yet dropped.
 type Session struct {
 	srv *Server
+	id  int64
 
 	// guarded by srv.mu (sessions are touched from client retry
 	// goroutines and the GC).
@@ -24,9 +28,13 @@ type Session struct {
 	closed bool
 }
 
+// sessionCounter numbers sessions process-wide; the ID keys the
+// per-session accounting series (tango_session_*{session="N"}).
+var sessionCounter atomic.Int64
+
 // NewSession registers a new client session.
 func (s *Server) NewSession() *Session {
-	se := &Session{srv: s, temps: map[string]bool{}}
+	se := &Session{srv: s, id: sessionCounter.Add(1), temps: map[string]bool{}}
 	s.mu.Lock()
 	if s.sessions == nil {
 		s.sessions = map[*Session]bool{}
@@ -34,6 +42,14 @@ func (s *Server) NewSession() *Session {
 	s.sessions[se] = true
 	s.mu.Unlock()
 	return se
+}
+
+// ID returns the session's process-unique identifier (0 for nil).
+func (se *Session) ID() int64 {
+	if se == nil {
+		return 0
+	}
+	return se.id
 }
 
 // RegisterTemp records that the session created a temp table.

@@ -22,8 +22,9 @@ type BufferPool struct {
 	frames map[PageID]*frame
 	lru    *list.List // of *frame, most-recent at front
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type frame struct {
@@ -120,6 +121,7 @@ func (bp *BufferPool) evict() error {
 			}
 		}
 		bp.freeFrame(f)
+		bp.evictions.Add(1)
 		return nil
 	}
 	return fmt.Errorf("storage: buffer pool exhausted (all %d pages pinned)", bp.capacity)
@@ -231,17 +233,20 @@ func (bp *BufferPool) Stats() (hits, misses int64) {
 type PoolStats struct {
 	Hits   int64
 	Misses int64
+	// Evictions counts frames pushed out to make room (a nonzero rate
+	// means the working set exceeds the pool).
+	Evictions int64
 }
 
 // Snapshot returns the current counters without taking the pool lock,
 // so per-query deltas can be computed while other queries run.
 func (bp *BufferPool) Snapshot() PoolStats {
-	return PoolStats{Hits: bp.hits.Load(), Misses: bp.misses.Load()}
+	return PoolStats{Hits: bp.hits.Load(), Misses: bp.misses.Load(), Evictions: bp.evictions.Load()}
 }
 
 // Sub returns the delta s - base (activity between two snapshots).
 func (s PoolStats) Sub(base PoolStats) PoolStats {
-	return PoolStats{Hits: s.Hits - base.Hits, Misses: s.Misses - base.Misses}
+	return PoolStats{Hits: s.Hits - base.Hits, Misses: s.Misses - base.Misses, Evictions: s.Evictions - base.Evictions}
 }
 
 // HitRatio returns hits / (hits+misses), or 0 when the pool is cold.

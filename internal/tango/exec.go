@@ -71,10 +71,15 @@ type Executor struct {
 	// buffer-pool deltas (wired by in-process harnesses that can reach
 	// the DBMS instance).
 	IOProbe func() (storage.IOStats, storage.PoolStats)
+	// WALProbe, when set, snapshots the durable store's WAL counters
+	// (bytes, records) around execution so the execute span and the
+	// per-session accounting carry the query's redo volume.
+	WALProbe func() (int64, int64)
 
 	transfersM []*xxl.TransferM
 	transfersD []*xxl.TransferD
 	shared     map[string]*xxl.SharedSource
+	sorts      []*xxl.Sort
 	root       *telemetry.Iter
 	parStats   []xxl.ParallelStats
 }
@@ -119,6 +124,7 @@ func (e *Executor) Build(plan *algebra.Node) (rel.Iterator, error) {
 	e.transfersM = nil
 	e.transfersD = nil
 	e.shared = map[string]*xxl.SharedSource{}
+	e.sorts = nil
 	e.root = nil
 	e.parStats = nil
 	it, err := e.buildMW(plan)
@@ -135,7 +141,12 @@ func (e *Executor) Build(plan *algebra.Node) (rel.Iterator, error) {
 }
 
 // Run builds and drains the plan, returning the materialized result.
+// The executor's trace span is pushed onto the connection for the
+// duration, so every wire op of the run carries the query's trace
+// context across to the DBMS.
 func (e *Executor) Run(plan *algebra.Node) (*rel.Relation, error) {
+	pop := e.Conn.PushTrace(e.Trace)
+	defer pop()
 	sb := e.Trace.Child("build")
 	it, err := e.Build(plan)
 	sb.Finish()
@@ -147,6 +158,10 @@ func (e *Executor) Run(plan *algebra.Node) (*rel.Relation, error) {
 	var poolBase storage.PoolStats
 	if e.IOProbe != nil {
 		ioBase, poolBase = e.IOProbe()
+	}
+	var walBase, walRecBase int64
+	if e.WALProbe != nil {
+		walBase, walRecBase = e.WALProbe()
 	}
 	out, err := rel.Drain(it)
 	if cerr := it.Close(); err == nil {
@@ -163,11 +178,38 @@ func (e *Executor) Run(plan *algebra.Node) (*rel.Relation, error) {
 		se.SetInt("disk_writes", dio.Writes)
 		se.SetInt("pool_hits", dpool.Hits)
 		se.SetInt("pool_misses", dpool.Misses)
+		se.SetInt("pool_evictions", dpool.Evictions)
+		e.Conn.AddSessionStat("pool_hits", dpool.Hits)
+		e.Conn.AddSessionStat("pool_misses", dpool.Misses)
+		e.Conn.AddSessionStat("pool_evictions", dpool.Evictions)
+	}
+	if e.WALProbe != nil {
+		wb, wr := e.WALProbe()
+		se.SetInt("wal_bytes", wb-walBase)
+		se.SetInt("wal_records", wr-walRecBase)
+		e.Conn.AddSessionStat("wal_bytes", wb-walBase)
+	}
+	var spill int64
+	for _, s := range e.sorts {
+		spill += s.SpilledBytes()
+	}
+	if spill > 0 {
+		se.SetInt("spill_bytes", spill)
+		e.Conn.AddSessionStat("spill_bytes", spill)
+	}
+	var tempBytes int64
+	for _, td := range e.transfersD {
+		tempBytes += td.Feedback().Bytes
+	}
+	if tempBytes > 0 {
+		se.SetInt("temp_bytes", tempBytes)
+		e.Conn.AddSessionStat("temp_bytes", tempBytes)
 	}
 	for _, fb := range e.Feedback() {
 		c := se.AddChild("transfer", fb.Elapsed)
 		c.SetInt("rows", fb.Rows)
 		c.SetInt("bytes", fb.Bytes)
+		c.SetInt("batches", fb.Batches)
 		c.Set("sql", abbreviate(fb.SQL, 48))
 	}
 	for _, ps := range e.parStats {
@@ -278,6 +320,7 @@ func (e *Executor) buildMW(n *algebra.Node) (rel.Iterator, error) {
 			return nil, err
 		}
 		srt := xxl.NewSort(in, keys)
+		e.sorts = append(e.sorts, srt)
 		if e.SortMemory > 0 {
 			srt.MemTuples = e.SortMemory
 		}

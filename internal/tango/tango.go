@@ -53,6 +53,12 @@ type Middleware struct {
 	// the query trace (wired by in-process harnesses that can reach
 	// the DBMS instance directly).
 	IOProbe func() (storage.IOStats, storage.PoolStats)
+	// WALProbe forwards the durable store's WAL counters (bytes,
+	// records) into the execute span and per-session accounting.
+	WALProbe func() (int64, int64)
+	// Flight, when set, receives the finished (stitched) span tree of
+	// every query — the ring-buffer flight recorder a post-mortem reads.
+	Flight *telemetry.Flight
 
 	mu        sync.Mutex
 	lastTrace *telemetry.Span
@@ -83,6 +89,9 @@ type Options struct {
 	// Retry configures the connection's wire resilience layer (per-call
 	// deadlines, capped jittered backoff); the zero value disables it.
 	Retry client.RetryPolicy
+	// Flight attaches a flight recorder (see Middleware.Flight); nil
+	// disables it.
+	Flight *telemetry.Flight
 }
 
 // Open connects the middleware to a DBMS server.
@@ -112,6 +121,7 @@ func Open(srv *server.Server, opts Options) *Middleware {
 		Metrics:     opts.Metrics,
 		CheckPlans:  opts.CheckPlans,
 		Parallelism: opts.Parallelism,
+		Flight:      opts.Flight,
 	}
 }
 
@@ -187,6 +197,7 @@ func (m *Middleware) newExecutor(root *telemetry.Span, analyze bool) *Executor {
 		Analyze:     analyze || m.Alpha > 0,
 		Trace:       root,
 		IOProbe:     m.IOProbe,
+		WALProbe:    m.WALProbe,
 		CheckPlans:  m.CheckPlans,
 		Parallelism: m.Parallelism,
 	}
@@ -194,9 +205,10 @@ func (m *Middleware) newExecutor(root *telemetry.Span, analyze bool) *Executor {
 
 // Execute runs a physical plan and feeds the observed transfer and
 // per-operator costs back into the cost factors.
-func (m *Middleware) Execute(plan *algebra.Node) (*rel.Relation, error) {
+func (m *Middleware) Execute(plan *algebra.Node) (out *rel.Relation, err error) {
 	root := telemetry.NewSpan("query")
-	defer m.finish(root)
+	pop := m.Conn.PushTrace(root)
+	defer func() { pop(); m.finish(root, planLabel(plan), err) }()
 	return m.execute(plan, root)
 }
 
@@ -206,26 +218,59 @@ func (m *Middleware) execute(plan *algebra.Node, root *telemetry.Span) (*rel.Rel
 	if err != nil {
 		return nil, err
 	}
-	m.absorb(ex)
+	m.absorb(ex, root)
 	m.mu.Lock()
 	m.lastStats = ex.ExecStats()
 	m.mu.Unlock()
 	return out, nil
 }
 
-// finish closes the root span and stores it as the last trace.
-func (m *Middleware) finish(root *telemetry.Span) {
+// finish completes one query's trace: it closes the root span,
+// stitches in the DBMS-side spans the server collected for this trace
+// ID, observes the end-to-end latency (and error count), hands the
+// finished tree to the flight recorder, and stores it as the last
+// trace. Call it exactly once per root — the latency histogram counts
+// queries.
+func (m *Middleware) finish(root *telemetry.Span, query string, err error) {
+	if root == nil {
+		return
+	}
 	root.Finish()
+	if m.Conn != nil {
+		telemetry.Stitch(root, m.Conn.TakeRemoteSpans(root.TraceID()))
+	}
+	if m.Metrics != nil {
+		m.Metrics.Histogram("tango_query_seconds", nil, telemetry.LatencyBuckets).Observe(root.Elapsed().Seconds())
+		if err != nil {
+			m.Metrics.Counter("tango_query_errors_total", nil).Inc()
+		}
+	}
+	m.Flight.Record(root, query, err)
 	m.mu.Lock()
 	m.lastTrace = root
 	m.mu.Unlock()
+}
+
+// planLabel renders a compact plan description for the flight log.
+func planLabel(plan *algebra.Node) string {
+	if plan == nil {
+		return ""
+	}
+	s := plan.String()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 120 {
+		s = s[:120] + "…"
+	}
+	return s
 }
 
 // absorb feeds one execution's measurements back into the model: the
 // whole-transfer EWMA (T^M/T^D factors), the per-operator factor
 // refinement, and the Q-error drift metrics comparing the optimizer's
 // cardinality estimates against observed row counts.
-func (m *Middleware) absorb(ex *Executor) {
+func (m *Middleware) absorb(ex *Executor, root *telemetry.Span) {
 	if m.Alpha > 0 {
 		m.mu.Lock()
 		for _, fb := range ex.Feedback() {
@@ -238,6 +283,8 @@ func (m *Middleware) absorb(ex *Executor) {
 	if st == nil {
 		return
 	}
+	var worstQ float64
+	var worstOp string
 	st.Walk(func(s *telemetry.OpStats) {
 		n, ok := s.Node.(*algebra.Node)
 		if !ok || n == nil {
@@ -269,9 +316,19 @@ func (m *Middleware) absorb(ex *Executor) {
 				l := telemetry.Labels{"op": s.Op}
 				m.Metrics.Histogram("tango_qerror", l, telemetry.QErrorBuckets).Observe(q)
 				m.Metrics.Gauge("tango_qerror_last", l).Set(q)
+				if q > worstQ {
+					worstQ, worstOp = q, s.Op
+				}
 			}
 		}
 	})
+	// Pin the worst-drifting operator of this query as the exemplar of
+	// the bucket its Q-error landed in, so the histogram points back at
+	// a concrete trace to read.
+	if m.Metrics != nil && worstQ > 0 && root.TraceID() != 0 {
+		m.Metrics.Histogram("tango_qerror", telemetry.Labels{"op": worstOp}, telemetry.QErrorBuckets).
+			SetExemplar(worstQ, fmt.Sprintf("%016x", root.TraceID()), worstOp)
+	}
 }
 
 // Run optimizes an initial plan and executes the winner, returning
@@ -280,14 +337,15 @@ func (m *Middleware) absorb(ex *Executor) {
 // the span tree. When the winning plan dies of a transient
 // infrastructure failure, Run degrades gracefully by re-siting the
 // query onto a fallback candidate (see runWithFallback).
-func (m *Middleware) Run(initial *algebra.Node) (*rel.Relation, *optimizer.Result, error) {
+func (m *Middleware) Run(initial *algebra.Node) (out *rel.Relation, res *optimizer.Result, err error) {
 	root := telemetry.NewSpan("query")
-	defer m.finish(root)
-	res, _, err := m.timedOptimize(initial, root)
+	pop := m.Conn.PushTrace(root)
+	defer func() { pop(); m.finish(root, planLabel(initial), err) }()
+	res, _, err = m.timedOptimize(initial, root)
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := m.ExecuteResult(res, root)
+	out, err = m.ExecuteResult(res, root)
 	if err != nil {
 		return nil, res, err
 	}
@@ -304,7 +362,7 @@ func (m *Middleware) ExecuteResult(res *optimizer.Result, root *telemetry.Span) 
 	if err != nil {
 		return nil, err
 	}
-	m.absorb(ex)
+	m.absorb(ex, root)
 	m.mu.Lock()
 	m.lastStats = ex.ExecStats()
 	m.mu.Unlock()
@@ -366,20 +424,26 @@ func (m *Middleware) Explain(initial *algebra.Node) (string, error) {
 // result is returned alongside the report.
 func (m *Middleware) ExplainAnalyze(initial *algebra.Node) (string, *rel.Relation, error) {
 	root := telemetry.NewSpan("query")
-	defer m.finish(root)
+	pop := m.Conn.PushTrace(root)
 	res, _, err := m.timedOptimize(initial, root)
 	if err != nil {
+		pop()
+		m.finish(root, planLabel(initial), err)
 		return "", nil, err
 	}
 	out, ex, err := m.runWithFallback(res, root, true)
+	pop()
 	if err != nil {
+		m.finish(root, planLabel(initial), err)
 		return "", nil, err
 	}
-	m.absorb(ex)
+	m.absorb(ex, root)
 	m.mu.Lock()
 	m.lastStats = ex.ExecStats()
 	m.mu.Unlock()
-	root.Finish()
+	// Finish (and stitch) before rendering so the report shows the
+	// remote spans and the settled root duration.
+	m.finish(root, planLabel(initial), nil)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "estimated cost %.0f µs, %d classes, %d elements, %d plans costed\n",

@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Flight is a ring-buffer flight recorder: it retains the last N
+// completed query traces as deep-copied snapshots (never live spans or
+// pinned batch buffers), and optionally appends each entry as one JSON
+// line to <dir>/flight.jsonl so the record survives a crash. After
+// recovery, LoadFlight reads the pre-crash log back so the recovery
+// span can link to the queries that were in flight when the engine
+// died.
+type Flight struct {
+	mu      sync.Mutex
+	cap     int
+	entries []FlightEntry // ring, oldest first once full
+	file    *os.File
+	path    string
+}
+
+// FlightFile is the JSONL file name inside a flight directory.
+const FlightFile = "flight.jsonl"
+
+// FlightEntry is one recorded query: identity, outcome, and the full
+// span-tree snapshot.
+type FlightEntry struct {
+	TraceID string    `json:"trace_id"`
+	Start   time.Time `json:"start"`
+	Seconds float64   `json:"seconds"`
+	Query   string    `json:"query,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Root    *SpanData `json:"root"`
+}
+
+// NewFlight creates a recorder holding the last n entries (default 64
+// if n <= 0).
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = 64
+	}
+	return &Flight{cap: n}
+}
+
+// SetDir enables crash-durable recording: every entry is appended to
+// <dir>/flight.jsonl as it is recorded. The file holds the current
+// process's flight log and is truncated on open — a recovery path that
+// wants the previous process's (possibly torn) log must LoadFlight it
+// BEFORE calling SetDir. The directory is created if missing.
+// Nil-safe.
+func (f *Flight) SetDir(dir string) error {
+	if f == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, FlightFile)
+	file, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	old := f.file
+	f.file = file
+	f.path = path
+	f.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	return nil
+}
+
+// Path returns the JSONL path, or "" when not durable.
+func (f *Flight) Path() string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.path
+}
+
+// Record snapshots a completed query trace into the ring (and the
+// JSONL file when durable). The snapshot is a deep copy: the recorder
+// never retains live spans, batch buffers, or anything else the
+// executor may recycle. On queries that failed with a typed error the
+// durable file is synced immediately, so the record of the failure
+// survives even an abrupt death right after. Nil-safe.
+func (f *Flight) Record(root *Span, query string, qerr error) {
+	if f == nil || root == nil {
+		return
+	}
+	e := FlightEntry{
+		Start:   root.Start(),
+		Seconds: root.Elapsed().Seconds(),
+		Query:   query,
+		Root:    root.Data(),
+	}
+	if id := root.TraceID(); id != 0 {
+		e.TraceID = fmt.Sprintf("%016x", id)
+	}
+	if qerr != nil {
+		e.Error = qerr.Error()
+	}
+	f.mu.Lock()
+	if len(f.entries) >= f.cap {
+		copy(f.entries, f.entries[1:])
+		f.entries[len(f.entries)-1] = e
+	} else {
+		f.entries = append(f.entries, e)
+	}
+	file := f.file
+	if file != nil {
+		if b, err := json.Marshal(e); err == nil {
+			b = append(b, '\n')
+			_, _ = file.Write(b)
+			if qerr != nil {
+				_ = file.Sync()
+			}
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Entries returns a copy of the ring, oldest first.
+func (f *Flight) Entries() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FlightEntry(nil), f.entries...)
+}
+
+// Len returns the number of retained entries.
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.entries)
+}
+
+// Last returns the most recent entry and whether one exists.
+func (f *Flight) Last() (FlightEntry, bool) {
+	if f == nil {
+		return FlightEntry{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.entries) == 0 {
+		return FlightEntry{}, false
+	}
+	return f.entries[len(f.entries)-1], true
+}
+
+// WriteJSONL dumps the ring to w, one JSON entry per line (the
+// on-demand `\flight` dump).
+func (f *Flight) WriteJSONL(w io.Writer) error {
+	for _, e := range f.Entries() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes the durable file, if any.
+func (f *Flight) Sync() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	file := f.file
+	f.mu.Unlock()
+	if file == nil {
+		return nil
+	}
+	return file.Sync()
+}
+
+// Close syncs and closes the durable file, if any. The ring remains
+// readable.
+func (f *Flight) Close() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	file := f.file
+	f.file = nil
+	f.mu.Unlock()
+	if file == nil {
+		return nil
+	}
+	if err := file.Sync(); err != nil {
+		_ = file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// LoadFlight reads a flight JSONL file written by a previous process.
+// It is crash-tolerant: a torn final line (the process died mid-write)
+// is skipped, not an error. A missing file yields no entries.
+func LoadFlight(path string) ([]FlightEntry, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer file.Close()
+	var out []FlightEntry
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e FlightEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Torn trailing line from an abrupt death: keep what parsed.
+			break
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil && len(out) == 0 {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -12,7 +13,16 @@ import (
 //	/metrics.json  JSON exposition
 //	/debug/vars    expvar-style JSON (alias of /metrics.json)
 //	/debug/pprof/  Go profiling endpoints
+//	/healthz       liveness probe (always 200 without a health check)
 func Handler(reg *Registry) http.Handler {
+	return HandlerWith(reg, nil)
+}
+
+// HandlerWith is Handler plus a health check: /healthz returns 200
+// "ok" while health() returns nil, and 503 with the error text once
+// it does not (engine closed, store crashed). A nil health func means
+// always healthy.
+func HandlerWith(reg *Registry, health func() error) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -24,6 +34,17 @@ func Handler(reg *Registry) http.Handler {
 	}
 	mux.HandleFunc("/metrics.json", jsonHandler)
 	mux.HandleFunc("/debug/vars", jsonHandler)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if health != nil {
+			if err := health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "unhealthy: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -36,11 +57,16 @@ func Handler(reg *Registry) http.Handler {
 // ":0" for an ephemeral port) in a background goroutine. It returns
 // the bound address and a shutdown function.
 func Serve(addr string, reg *Registry) (string, func() error, error) {
+	return ServeWith(addr, reg, nil)
+}
+
+// ServeWith is Serve with a /healthz health check attached.
+func ServeWith(addr string, reg *Registry, health func() error) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: HandlerWith(reg, health)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -24,7 +24,9 @@ import (
 // Labels attach dimensions to a metric series ({op="TAggr",loc="MW"}).
 type Labels map[string]string
 
-// labelKey renders labels deterministically (sorted by key).
+// labelKey renders labels deterministically (sorted by key). This is
+// the registry's internal identity key, not the exposition format —
+// %q is unambiguous, which is all a map key needs.
 func labelKey(l Labels) string {
 	if len(l) == 0 {
 		return ""
@@ -41,6 +43,57 @@ func labelKey(l Labels) string {
 			b.WriteByte(',')
 		}
 		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and newline — and
+// nothing else (Go's %q would emit \xNN and \t escapes that
+// Prometheus parsers reject).
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders labels for the Prometheus exposition (sorted,
+// values escaped per the text format).
+func promLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l[k]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -230,6 +283,20 @@ type Histogram struct {
 	buckets []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64
+
+	// exemplars pin one representative observation per bucket (e.g.
+	// the trace that produced the worst Q-error landing there), so a
+	// reader of the histogram can jump straight to a concrete trace.
+	exMu      sync.Mutex
+	exemplars []*Exemplar // lazily allocated, len(buckets) when present
+}
+
+// Exemplar links one observed value to the trace that produced it.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+	// Label is a short annotation, e.g. the offending operator.
+	Label string `json:"label,omitempty"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -253,6 +320,104 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and pins it as the exemplar of
+// the bucket it lands in, replacing any previous exemplar there.
+func (h *Histogram) ObserveExemplar(v float64, traceID, label string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exMu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]*Exemplar, len(h.buckets))
+	}
+	h.exemplars[i] = &Exemplar{Value: v, TraceID: traceID, Label: label}
+	h.exMu.Unlock()
+}
+
+// SetExemplar pins v's trace as the exemplar of the bucket v lands in
+// WITHOUT observing it — for callers that already Observed the value
+// and later learn which trace best represents it (e.g. the worst
+// Q-error operator of a query).
+func (h *Histogram) SetExemplar(v float64, traceID, label string) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exMu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]*Exemplar, len(h.buckets))
+	}
+	h.exemplars[i] = &Exemplar{Value: v, TraceID: traceID, Label: label}
+	h.exMu.Unlock()
+}
+
+// Exemplars returns the per-bucket exemplars (nil when none were ever
+// recorded; entries may be nil).
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	return append([]*Exemplar(nil), h.exemplars...)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the bucket the rank falls into — the same
+// estimate Prometheus's histogram_quantile computes. Observations in
+// the +Inf bucket clamp to the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return quantileFromBuckets(h.bounds, counts, q)
+}
+
+// quantileFromBuckets is the shared quantile estimator over raw
+// (non-cumulative) bucket counts.
+func quantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		fc := float64(c)
+		if cum+fc >= rank && fc > 0 {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			frac := (rank - cum) / fc
+			return lo + (bounds[i]-lo)*frac
+		}
+		cum += fc
+	}
+	return bounds[len(bounds)-1]
 }
 
 // Count returns the number of observations.
@@ -282,6 +447,25 @@ var CountBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7}
 // observed cardinality drift) histograms: exact=1 up to 1000×.
 var QErrorBuckets = []float64{1, 1.5, 2, 4, 8, 16, 64, 256, 1000}
 
+// ExpBuckets generates n exponentially spaced bounds start, start×f,
+// start×f², … — the stdlib-only stand-in for HDR histograms: constant
+// relative error (factor 2 → ≤100% bucket width) across the range.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets are log-scale bounds (seconds) for per-op and
+// end-to-end latency histograms: 1µs doubling up to ~16.8s, 25
+// buckets — fine enough that p999 interpolation stays within a factor
+// of two of the true value anywhere in the range.
+var LatencyBuckets = ExpBuckets(1e-6, 2, 25)
+
 // SeriesSnapshot is one collected series, used by both expositions.
 type SeriesSnapshot struct {
 	Name   string
@@ -294,6 +478,13 @@ type SeriesSnapshot struct {
 	BucketCounts []int64 // len(Bounds)+1; last is the +Inf bucket
 	Count        int64
 	Sum          float64
+	// Exemplars holds per-bucket exemplars (nil when none recorded).
+	Exemplars []*Exemplar
+}
+
+// Quantile estimates a quantile from the snapshot's buckets.
+func (s SeriesSnapshot) Quantile(q float64) float64 {
+	return quantileFromBuckets(s.Bounds, s.BucketCounts, q)
 }
 
 // Snapshot collects every series, sorted by name then labels.
@@ -336,6 +527,7 @@ func (r *Registry) Snapshot() []SeriesSnapshot {
 			}
 			snap.Count = s.hist.Count()
 			snap.Sum = s.hist.Sum()
+			snap.Exemplars = s.hist.Exemplars()
 		}
 		out = append(out, snap)
 	}
@@ -353,7 +545,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			lastName = s.Name
 		}
-		lbl := labelKey(s.Labels)
+		lbl := promLabels(s.Labels)
 		switch s.Kind {
 		case "histogram":
 			cum := int64(0)
@@ -363,7 +555,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if i < len(s.Bounds) {
 					le = formatFloat(s.Bounds[i])
 				}
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, mergeLabel(s.Labels, "le", le), cum); err != nil {
+				line := fmt.Sprintf("%s_bucket%s %d", s.Name, mergeLabel(s.Labels, "le", le), cum)
+				// OpenMetrics-style exemplar suffix on the bucket line.
+				if i < len(s.Exemplars) && s.Exemplars[i] != nil {
+					ex := s.Exemplars[i]
+					line += fmt.Sprintf(" # {trace_id=\"%s\",label=\"%s\"} %s",
+						escapeLabelValue(ex.TraceID), escapeLabelValue(ex.Label), formatFloat(ex.Value))
+				}
+				if _, err := fmt.Fprintln(w, line); err != nil {
 					return err
 				}
 			}
@@ -372,6 +571,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, lbl, s.Count); err != nil {
 				return err
+			}
+			if s.Count > 0 {
+				for _, q := range [...]struct {
+					suffix string
+					q      float64
+				}{{"p50", 0.50}, {"p99", 0.99}, {"p999", 0.999}} {
+					if _, err := fmt.Fprintf(w, "%s_%s%s %s\n", s.Name, q.suffix, lbl, formatFloat(s.Quantile(q.q))); err != nil {
+						return err
+					}
+				}
 			}
 		default:
 			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, lbl, formatFloat(s.Value)); err != nil {
@@ -397,13 +606,13 @@ func formatFloat(v float64) string {
 }
 
 // mergeLabel renders labels with one extra pair appended (the
-// histogram "le" bound).
+// histogram "le" bound), escaped for the exposition format.
 func mergeLabel(l Labels, k, v string) string {
 	m := Labels{k: v}
 	for kk, vv := range l {
 		m[kk] = vv
 	}
-	return labelKey(m)
+	return promLabels(m)
 }
 
 // WriteJSON renders the registry as a JSON object keyed by
@@ -424,9 +633,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				}
 				buckets[le] = cum
 			}
-			out[key] = map[string]interface{}{
+			h := map[string]interface{}{
 				"count": s.Count, "sum": s.Sum, "buckets": buckets,
 			}
+			if s.Count > 0 {
+				h["p50"] = s.Quantile(0.50)
+				h["p99"] = s.Quantile(0.99)
+				h["p999"] = s.Quantile(0.999)
+			}
+			if exs := nonNilExemplars(s.Exemplars); len(exs) > 0 {
+				h["exemplars"] = exs
+			}
+			out[key] = h
 		default:
 			out[key] = s.Value
 		}
@@ -434,4 +652,16 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// nonNilExemplars filters the per-bucket exemplar slice down to the
+// recorded ones.
+func nonNilExemplars(exs []*Exemplar) []*Exemplar {
+	var out []*Exemplar
+	for _, e := range exs {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
 }

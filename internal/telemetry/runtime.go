@@ -1,0 +1,42 @@
+package telemetry
+
+import "runtime"
+
+// RegisterRuntimeMetrics registers process-level runtime gauges on the
+// registry, computed at collection time:
+//
+//	tango_goroutines            live goroutine count
+//	tango_heap_bytes            bytes of allocated heap objects
+//	tango_heap_objects          live heap objects
+//	tango_gc_cycles_total       completed GC cycles
+//	tango_gc_pause_seconds_total  cumulative stop-the-world pause
+//
+// Together with /debug/pprof these close the loop for diagnosing a
+// misbehaving middleware process without restarting it.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("tango_goroutines", nil, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	memStat := func(pick func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return pick(&ms)
+		}
+	}
+	reg.GaugeFunc("tango_heap_bytes", nil, memStat(func(ms *runtime.MemStats) float64 {
+		return float64(ms.HeapAlloc)
+	}))
+	reg.GaugeFunc("tango_heap_objects", nil, memStat(func(ms *runtime.MemStats) float64 {
+		return float64(ms.HeapObjects)
+	}))
+	reg.GaugeFunc("tango_gc_cycles_total", nil, memStat(func(ms *runtime.MemStats) float64 {
+		return float64(ms.NumGC)
+	}))
+	reg.GaugeFunc("tango_gc_pause_seconds_total", nil, memStat(func(ms *runtime.MemStats) float64 {
+		return float64(ms.PauseTotalNs) / 1e9
+	}))
+}

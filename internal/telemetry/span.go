@@ -14,6 +14,14 @@ import (
 type Span struct {
 	Name string
 
+	// Trace identity: every span belongs to a 64-bit trace; spans on
+	// the remote site carry the same trace ID so the two halves of a
+	// query can be stitched back into one tree (see Stitch). IDs are
+	// immutable after construction, so they are read without the lock.
+	traceID  uint64
+	spanID   uint64
+	parentID uint64
+
 	mu       sync.Mutex
 	start    time.Time
 	elapsed  time.Duration
@@ -28,17 +36,18 @@ type Attr struct {
 	Value string
 }
 
-// NewSpan starts a root span.
+// NewSpan starts a root span with a fresh trace ID.
 func NewSpan(name string) *Span {
-	return &Span{Name: name, start: time.Now()}
+	return &Span{Name: name, traceID: newID(), spanID: newID(), start: time.Now()}
 }
 
-// Child starts a nested span.
+// Child starts a nested span. It inherits the parent's trace ID; its
+// parent span ID is the creator's span ID.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := NewSpan(name)
+	c := &Span{Name: name, traceID: s.traceID, spanID: newID(), parentID: s.spanID, start: time.Now()}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -53,11 +62,23 @@ func (s *Span) AddChild(name string, d time.Duration) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{Name: name, start: time.Now().Add(-d), elapsed: d, done: true}
+	c := &Span{Name: name, traceID: s.traceID, spanID: newID(), parentID: s.spanID,
+		start: time.Now().Add(-d), elapsed: d, done: true}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// Attach adds an existing span (typically a stitched remote span) as a
+// child. The child keeps its own trace identity.
+func (s *Span) Attach(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
 }
 
 // Finish stops the span clock (idempotent) and returns the elapsed
@@ -73,6 +94,67 @@ func (s *Span) Finish() time.Duration {
 		s.done = true
 	}
 	return s.elapsed
+}
+
+// Done reports whether the span has been finished.
+func (s *Span) Done() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// Start returns the span's start time.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// TraceID returns the 64-bit trace the span belongs to (0 for nil).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's own 64-bit ID (0 for nil).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.spanID
+}
+
+// ParentID returns the creating span's ID (0 for roots and nil).
+func (s *Span) ParentID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.parentID
+}
+
+// Context returns the span's propagation context — what crosses the
+// wire so the remote site can parent its spans under this one.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.spanID}
+}
+
+// Attrs returns the span attributes (copy, insertion order).
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
 }
 
 // Elapsed returns the span duration (current running time if the span

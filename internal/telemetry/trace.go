@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// This file holds the distributed half of the tracer: trace/span IDs
+// that cross the wire, remote span creation on the DBMS site, a
+// collector the server publishes finished spans into, and the stitcher
+// that reattaches them under the middleware's span tree — so one query
+// yields a single tree covering both sites, retries included.
+
+// newID returns a random nonzero 64-bit identifier.
+func newID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// SpanContext is the propagation context carried across the wire: the
+// trace a request belongs to and the span that issued it. The zero
+// value is "no trace" (tracing disabled on the caller).
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a real trace.
+func (c SpanContext) Valid() bool { return c.TraceID != 0 }
+
+// NewRemoteSpan starts a span on the remote site of a trace: it joins
+// parent's trace and is parented under parent.SpanID. With an invalid
+// parent the span starts a fresh trace of its own.
+func NewRemoteSpan(name string, parent SpanContext) *Span {
+	if !parent.Valid() {
+		return NewSpan(name)
+	}
+	return &Span{Name: name, traceID: parent.TraceID, spanID: newID(),
+		parentID: parent.SpanID, start: time.Now()}
+}
+
+// Collector accumulates finished remote spans keyed by trace ID until
+// the trace's owner takes them for stitching. It is bounded: once
+// maxTraces distinct traces are resident the oldest is dropped, and a
+// single trace holds at most maxSpansPerTrace spans — abandoned traces
+// (client gave up, crashed mid-query) cannot grow it without limit.
+type Collector struct {
+	mu      sync.Mutex
+	byTrace map[uint64][]*Span
+	order   []uint64 // trace insertion order, for eviction
+	dropped int64
+
+	maxTraces        int
+	maxSpansPerTrace int
+}
+
+// NewCollector creates a collector bounded to maxTraces resident
+// traces (default 128 if <= 0).
+func NewCollector(maxTraces int) *Collector {
+	if maxTraces <= 0 {
+		maxTraces = 128
+	}
+	return &Collector{
+		byTrace:          map[uint64][]*Span{},
+		maxTraces:        maxTraces,
+		maxSpansPerTrace: 512,
+	}
+}
+
+// Collect files a finished span under its trace. Spans without a trace
+// ID, and nil spans, are ignored. Nil-safe.
+func (c *Collector) Collect(sp *Span) {
+	if c == nil || sp == nil || sp.TraceID() == 0 {
+		return
+	}
+	id := sp.TraceID()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	got, ok := c.byTrace[id]
+	if !ok {
+		if len(c.order) >= c.maxTraces {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			c.dropped += int64(len(c.byTrace[oldest]))
+			delete(c.byTrace, oldest)
+		}
+		c.order = append(c.order, id)
+	}
+	if len(got) >= c.maxSpansPerTrace {
+		c.dropped++
+		return
+	}
+	c.byTrace[id] = append(got, sp)
+}
+
+// Take removes and returns every span collected for the trace, in
+// collection order. Nil-safe.
+func (c *Collector) Take(traceID uint64) []*Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	got, ok := c.byTrace[traceID]
+	if !ok {
+		return nil
+	}
+	delete(c.byTrace, traceID)
+	for i, id := range c.order {
+		if id == traceID {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return got
+}
+
+// Pending returns the number of resident traces awaiting Take.
+func (c *Collector) Pending() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byTrace)
+}
+
+// Dropped returns the number of spans evicted due to bounds.
+func (c *Collector) Dropped() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Stitch attaches remote spans into root's tree: each remote span is
+// attached as a child of the tree node whose span ID equals the
+// remote's parent ID (the span that issued the request). Remotes whose
+// parent is not in the tree — e.g. the issuing attempt was abandoned —
+// fall back to root, so no observation is lost. Remotes are attached
+// in order, so a remote parented under an earlier remote lands
+// correctly too. Returns the number of spans attached.
+func Stitch(root *Span, remotes []*Span) int {
+	if root == nil || len(remotes) == 0 {
+		return 0
+	}
+	index := map[uint64]*Span{}
+	var walk func(*Span)
+	walk = func(s *Span) {
+		index[s.SpanID()] = s
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	n := 0
+	for _, r := range remotes {
+		if r == nil {
+			continue
+		}
+		parent := index[r.ParentID()]
+		if parent == nil {
+			parent = root
+		}
+		parent.Attach(r)
+		index[r.SpanID()] = r
+		n++
+	}
+	return n
+}
+
+// UnfinishedSpans walks the tree and returns the names of spans that
+// were never Finished — the telemetry analogue of a leaked iterator.
+func UnfinishedSpans(root *Span) []string {
+	if root == nil {
+		return nil
+	}
+	var out []string
+	var walk func(*Span)
+	walk = func(s *Span) {
+		if !s.Done() {
+			out = append(out, s.Name)
+		}
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// SpanData is a plain deep-copy snapshot of a span tree: no locks, no
+// live pointers, safe to retain, marshal, and replay after a crash.
+// This is the flight-recorder wire format.
+type SpanData struct {
+	Name     string      `json:"name"`
+	TraceID  string      `json:"trace_id,omitempty"`
+	SpanID   string      `json:"span_id,omitempty"`
+	ParentID string      `json:"parent_id,omitempty"`
+	Start    time.Time   `json:"start"`
+	Seconds  float64     `json:"seconds"`
+	Done     bool        `json:"done"`
+	Attrs    []Attr      `json:"attrs,omitempty"`
+	Children []*SpanData `json:"children,omitempty"`
+}
+
+// Data snapshots the span tree into SpanData. Nil-safe.
+func (s *Span) Data() *SpanData {
+	if s == nil {
+		return nil
+	}
+	d := &SpanData{
+		Name:    s.Name,
+		Start:   s.Start(),
+		Seconds: s.Elapsed().Seconds(),
+		Done:    s.Done(),
+		Attrs:   s.Attrs(),
+	}
+	if s.traceID != 0 {
+		d.TraceID = fmt.Sprintf("%016x", s.traceID)
+	}
+	if s.spanID != 0 {
+		d.SpanID = fmt.Sprintf("%016x", s.spanID)
+	}
+	if s.parentID != 0 {
+		d.ParentID = fmt.Sprintf("%016x", s.parentID)
+	}
+	for _, c := range s.Children() {
+		d.Children = append(d.Children, c.Data())
+	}
+	return d
+}
+
+// Walk visits the snapshot tree pre-order.
+func (d *SpanData) Walk(fn func(*SpanData)) {
+	if d == nil {
+		return
+	}
+	fn(d)
+	for _, c := range d.Children {
+		c.Walk(fn)
+	}
+}
+
+// Find returns the first span in the snapshot tree with the given
+// name, or nil.
+func (d *SpanData) Find(name string) *SpanData {
+	var found *SpanData
+	d.Walk(func(s *SpanData) {
+		if found == nil && s.Name == name {
+			found = s
+		}
+	})
+	return found
+}

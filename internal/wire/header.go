@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Trace-context header: every request crossing the middleware↔DBMS
+// boundary may carry the caller's trace identity, so the DBMS site can
+// parent its spans under the exact client span (attempt, load, exec)
+// that issued the request. The header is versioned so either side can
+// be upgraded independently; an empty header means "no trace" and is
+// always valid.
+//
+// Layout (version 1):
+//
+//	byte 0      header version
+//	bytes 1-8   trace ID  (big-endian fixed64)
+//	bytes 9-16  span ID   (big-endian fixed64)
+//
+// The package deliberately carries raw uint64s, not telemetry types —
+// wire stays dependency-free below the telemetry layer.
+
+// HeaderVersion is the current trace-header version.
+const HeaderVersion = 1
+
+// headerLen is the encoded size of a version-1 header.
+const headerLen = 17
+
+// Header is the decoded trace context of one request.
+type Header struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the header names a real trace.
+func (h Header) Valid() bool { return h.TraceID != 0 }
+
+// AppendHeader appends the version-1 encoding of h to dst. A zero
+// header (no trace) encodes to nothing: callers pass the result
+// through unchanged and the receiver sees "no trace".
+func AppendHeader(dst []byte, h Header) []byte {
+	if !h.Valid() {
+		return dst
+	}
+	dst = append(dst, HeaderVersion)
+	dst = binary.BigEndian.AppendUint64(dst, h.TraceID)
+	dst = binary.BigEndian.AppendUint64(dst, h.SpanID)
+	return dst
+}
+
+// DecodeHeader decodes a trace header. Empty input is a valid "no
+// trace" header. Unknown versions and truncated input are errors, so
+// a skewed peer is detected rather than silently mis-parsed.
+func DecodeHeader(data []byte) (Header, error) {
+	if len(data) == 0 {
+		return Header{}, nil
+	}
+	if data[0] != HeaderVersion {
+		return Header{}, fmt.Errorf("wire: unknown trace header version %d", data[0])
+	}
+	if len(data) != headerLen {
+		return Header{}, fmt.Errorf("wire: trace header length %d, want %d", len(data), headerLen)
+	}
+	return Header{
+		TraceID: binary.BigEndian.Uint64(data[1:9]),
+		SpanID:  binary.BigEndian.Uint64(data[9:17]),
+	}, nil
+}

@@ -1,0 +1,54 @@
+package wire
+
+import "testing"
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{TraceID: 0xdeadbeefcafe0123, SpanID: 0x42}
+	enc := AppendHeader(nil, h)
+	if len(enc) != headerLen {
+		t.Fatalf("encoded length = %d, want %d", len(enc), headerLen)
+	}
+	got, err := DecodeHeader(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip = %+v, want %+v", got, h)
+	}
+}
+
+func TestHeaderEmpty(t *testing.T) {
+	// A zero header encodes to nothing and decodes back to "no trace".
+	if enc := AppendHeader(nil, Header{}); len(enc) != 0 {
+		t.Fatalf("zero header encoded to %d bytes", len(enc))
+	}
+	got, err := DecodeHeader(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Valid() {
+		t.Fatal("empty header must be invalid (no trace)")
+	}
+}
+
+func TestHeaderErrors(t *testing.T) {
+	h := Header{TraceID: 7, SpanID: 9}
+	enc := AppendHeader(nil, h)
+
+	// Unknown version.
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99
+	if _, err := DecodeHeader(bad); err == nil {
+		t.Fatal("unknown version must error")
+	}
+
+	// Truncation.
+	if _, err := DecodeHeader(enc[:headerLen-3]); err == nil {
+		t.Fatal("truncated header must error")
+	}
+
+	// Trailing garbage.
+	if _, err := DecodeHeader(append(enc, 0xff)); err == nil {
+		t.Fatal("oversized header must error")
+	}
+}

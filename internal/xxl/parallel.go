@@ -82,6 +82,7 @@ type runGen struct {
 	mu       sync.Mutex
 	files    map[int]*os.File
 	firstErr error
+	spilled  int64 // bytes written to run files
 
 	chunks int // dispatched chunk count; coordinator-only
 	stats  ParallelStats
@@ -105,8 +106,8 @@ func (g *runGen) spill(buf []types.Tuple) []types.Tuple {
 	g.stats.observe(len(buf))
 	if g.par <= 1 {
 		g.s.sortBuf(buf)
-		f, err := writeRun(buf)
-		g.record(idx, f, err)
+		f, n, err := writeRun(buf)
+		g.record(idx, f, n, err)
 		return buf[:0] // synchronous: safe to reuse
 	}
 	g.sem <- struct{}{} // bound in-flight chunks (and their memory)
@@ -115,13 +116,13 @@ func (g *runGen) spill(buf []types.Tuple) []types.Tuple {
 		defer g.wg.Done()
 		defer func() { <-g.sem }()
 		g.s.sortBuf(buf) // reads only immutable keys/descs
-		f, err := writeRun(buf)
-		g.record(idx, f, err)
+		f, n, err := writeRun(buf)
+		g.record(idx, f, n, err)
 	}()
 	return make([]types.Tuple, 0, cap(buf))
 }
 
-func (g *runGen) record(idx int, f *os.File, err error) {
+func (g *runGen) record(idx int, f *os.File, n int64, err error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if err != nil {
@@ -131,6 +132,14 @@ func (g *runGen) record(idx int, f *os.File, err error) {
 		return
 	}
 	g.files[idx] = f
+	g.spilled += n
+}
+
+// spilledBytes reports the bytes written across all recorded runs.
+func (g *runGen) spilledBytes() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.spilled
 }
 
 // err reports the first worker failure seen so far; the coordinator

@@ -39,9 +39,10 @@ type Sort struct {
 	// (workers, chunks, partition sizes) after Open completes.
 	OnStats func(ParallelStats)
 
-	rows   []types.Tuple // in-memory case
-	pos    int
-	merger *runMerger // external case
+	rows    []types.Tuple // in-memory case
+	pos     int
+	merger  *runMerger // external case
+	spilled int64      // bytes written to spill runs by the last Open
 }
 
 // NewSort sorts by the given column indexes, ascending.
@@ -153,6 +154,7 @@ func (s *Sort) Open() (err error) {
 	if err != nil {
 		return err
 	}
+	s.spilled = gen.spilledBytes()
 	// newRunMerger owns the files now and cleans up on error.
 	m, err := newRunMerger(files, s.keys, s.descs)
 	if err != nil {
@@ -186,6 +188,11 @@ func (s *Sort) sortBuf(buf []types.Tuple) {
 	})
 }
 
+// SpilledBytes reports the bytes the last Open wrote to spill runs
+// (0 for a fully in-memory sort) — the spill-accounting feed for the
+// per-query resource attribution.
+func (s *Sort) SpilledBytes() int64 { return s.spilled }
+
 // Next returns tuples in key order.
 func (s *Sort) Next() (types.Tuple, bool, error) {
 	if s.merger != nil {
@@ -214,34 +221,38 @@ func (s *Sort) Close() error {
 
 // --- run files ---
 
-// writeRun writes a sorted run of tuples to a temp file.
-func writeRun(rows []types.Tuple) (*os.File, error) {
+// writeRun writes a sorted run of tuples to a temp file, returning the
+// file and the bytes written.
+func writeRun(rows []types.Tuple) (*os.File, int64, error) {
 	f, err := os.CreateTemp("", "tango-sort-*.run")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	var written int64
 	buf := make([]byte, 0, 1<<16)
 	for _, t := range rows {
 		buf = types.EncodeTuple(buf, t)
 		if len(buf) >= 1<<16 {
 			if _, err := f.Write(buf); err != nil {
 				removeRuns([]*os.File{f})
-				return nil, err
+				return nil, 0, err
 			}
+			written += int64(len(buf))
 			buf = buf[:0]
 		}
 	}
 	if len(buf) > 0 {
 		if _, err := f.Write(buf); err != nil {
 			removeRuns([]*os.File{f})
-			return nil, err
+			return nil, 0, err
 		}
+		written += int64(len(buf))
 	}
 	if _, err := f.Seek(0, 0); err != nil {
 		removeRuns([]*os.File{f})
-		return nil, err
+		return nil, 0, err
 	}
-	return f, nil
+	return f, written, nil
 }
 
 // removeRuns closes and deletes spilled run files on error paths; the
