@@ -5,7 +5,7 @@ GO ?= go
 # Fuzz smoke budget per target (ci runs each fuzzer this long).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz chaos crash bench-smoke bench-json ci clean
+.PHONY: all build vet lint lint-fix lint-report test race fuzz chaos crash bench-smoke bench-json ci clean
 
 # Benchmark report written by bench-json.
 BENCHOUT ?= BENCH_6.json
@@ -20,10 +20,25 @@ vet:
 
 # lint runs the project-specific analyzers (iterator and span
 # lifecycles, dropped errors, mixed atomic/plain field access,
-# hand-written operator schemas) over the whole tree. Exit status 1
-# means findings.
+# hand-written operator schemas, and the interprocedural concurrency
+# suite: latch order, lock-held I/O, goroutine leaks) over the whole
+# tree, with per-package parallelism and a content-hash summary cache
+# under .tangolint-cache/ — the stderr summary prints elapsed time and
+# how many packages were served from the cache, so a warm rerun shows
+# its speedup directly. Exit status 1 means findings.
 lint:
-	$(GO) run ./cmd/tangolint ./...
+	$(GO) run ./cmd/tangolint -cache .tangolint-cache ./...
+
+# lint-fix is lint plus the machine-applyable suggestion attached to
+# each finding that has one (e.g. "delete the suppression comment").
+lint-fix:
+	$(GO) run ./cmd/tangolint -fix -cache .tangolint-cache ./...
+
+# lint-report is the ci form: same gate (a finding fails the build),
+# but the machine-readable report is published to lint.json either
+# way — stdout is redirected before the exit status is checked.
+lint-report:
+	$(GO) run ./cmd/tangolint -json -cache .tangolint-cache ./... > lint.json
 
 test:
 	$(GO) test ./...
@@ -81,11 +96,11 @@ bench-json:
 	  $(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime 2000x; } | $(GO) run ./cmd/benchjson > $(BENCHOUT)
 
 # ci is the full verification gate: compile everything, vet, run the
-# project analyzers, smoke the fuzz targets and the benchmarks, run
-# the test suite under the race detector (tests also planck-check
-# every plan), run the short chaos sweep under -race, and sweep the
-# crash-recovery matrix under -race.
-ci: build vet lint fuzz race chaos crash bench-smoke
+# project analyzers (publishing lint.json), smoke the fuzz targets and
+# the benchmarks, run the test suite under the race detector (tests
+# also planck-check every plan), run the short chaos sweep under
+# -race, and sweep the crash-recovery matrix under -race.
+ci: build vet lint-report fuzz race chaos crash bench-smoke
 
 clean:
 	$(GO) clean ./...

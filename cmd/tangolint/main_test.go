@@ -1,0 +1,199 @@
+package main
+
+// Integration tests for the driver: a throwaway module is written to a
+// temp dir and analyzed in-process through run(), asserting the exit
+// code contract (0 clean / 1 findings / 2 errors), the -json schema,
+// deterministic finding order, and cache hit accounting.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tango/internal/analysis"
+)
+
+const leakySrc = `// Package leaky seeds one violation per concurrency analyzer so the
+// driver integration test can assert the full pipeline.
+package leaky
+
+import "sync"
+
+//tango:lock-order meta < page
+
+// T mixes an ordered metadata lock with a page latch.
+type T struct {
+	metaMu sync.Mutex //tango:lock-order meta
+	pageMu sync.Mutex //tango:lock-order page latch
+}
+
+// Bad inverts the declared order and blocks under the latch.
+func (t *T) Bad(ch chan int) {
+	t.pageMu.Lock()
+	defer t.pageMu.Unlock()
+	t.metaMu.Lock()
+	ch <- 1
+	t.metaMu.Unlock()
+}
+
+// Leak spawns a goroutine nobody will ever receive from.
+func Leak() {
+	c := make(chan int)
+	go func() {
+		c <- 1
+	}()
+}
+
+// Stale carries a suppression that matches nothing.
+func Stale() {
+	//lint:ignore errlost nothing here drops an error
+	_ = 1
+}
+`
+
+// writeModule lays out a minimal module with one dirty and one clean
+// package.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module lintfixture\n\ngo 1.21\n")
+	write("leaky/leaky.go", leakySrc)
+	write("clean/clean.go", "// Package clean has nothing to report.\npackage clean\n\n// Add adds.\nfunc Add(a, b int) int { return a + b }\n")
+	return dir
+}
+
+func runDriver(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestDriverExitCodes(t *testing.T) {
+	dir := writeModule(t)
+
+	code, out, _ := runDriver(t, "-dir", dir, "./...")
+	if code != 1 {
+		t.Fatalf("dirty tree: exit %d, want 1\nstdout:\n%s", code, out)
+	}
+	for _, analyzer := range []string{"latchorder", "lockio", "goleak", "stalesuppress"} {
+		if !strings.Contains(out, "("+analyzer+")") {
+			t.Errorf("stdout missing a %s finding:\n%s", analyzer, out)
+		}
+	}
+
+	// Same invocation, byte-identical output: finding order is part of
+	// the contract (CI diffs lint output across runs).
+	_, again, _ := runDriver(t, "-dir", dir, "./...")
+	if again != out {
+		t.Errorf("output not deterministic:\n--- first\n%s\n--- second\n%s", out, again)
+	}
+
+	code, out, _ = runDriver(t, "-dir", dir, "./clean")
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("clean package: exit %d, stdout %q; want 0 and no findings", code, out)
+	}
+
+	code, _, stderr := runDriver(t, "-checks", "nosuch", "-dir", dir, "./clean")
+	if code != 2 || !strings.Contains(stderr, "nosuch") {
+		t.Fatalf("unknown analyzer: exit %d, stderr %q; want 2 naming the analyzer", code, stderr)
+	}
+
+	if code, _, _ := runDriver(t, "-not-a-flag"); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestDriverJSONAndCache(t *testing.T) {
+	dir := writeModule(t)
+	cache := filepath.Join(dir, ".tangolint-cache")
+
+	decode := func(out string) jsonReport {
+		t.Helper()
+		var report jsonReport
+		if err := json.Unmarshal([]byte(out), &report); err != nil {
+			t.Fatalf("decoding -json output: %v\n%s", err, out)
+		}
+		return report
+	}
+
+	code, out, _ := runDriver(t, "-dir", dir, "-json", "-cache", cache, "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	cold := decode(out)
+	if cold.Packages != 2 || cold.Cached != 0 {
+		t.Errorf("cold run: packages=%d cached=%d, want 2/0", cold.Packages, cold.Cached)
+	}
+	if len(cold.Analyzers) != len(analysis.All()) {
+		t.Errorf("report lists %d analyzers, want %d", len(cold.Analyzers), len(analysis.All()))
+	}
+	if len(cold.Findings) != 4 {
+		t.Errorf("cold run: %d findings, want 4 (latchorder, lockio, goleak, stalesuppress)\n%s", len(cold.Findings), out)
+	}
+	for _, f := range cold.Findings {
+		if f.Analyzer == "" || f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Message == "" {
+			t.Errorf("finding with empty fields: %+v", f)
+		}
+	}
+
+	code, out, _ = runDriver(t, "-dir", dir, "-json", "-cache", cache, "./...")
+	if code != 1 {
+		t.Fatalf("warm exit %d, want 1", code)
+	}
+	warm := decode(out)
+	if warm.Cached != warm.Packages {
+		t.Errorf("warm run: cached=%d of %d packages, want all", warm.Cached, warm.Packages)
+	}
+	if len(warm.Findings) != len(cold.Findings) {
+		t.Errorf("warm findings %d != cold findings %d", len(warm.Findings), len(cold.Findings))
+	}
+	for i := range warm.Findings {
+		if warm.Findings[i] != cold.Findings[i] {
+			t.Errorf("finding %d differs warm vs cold:\n%+v\n%+v", i, warm.Findings[i], cold.Findings[i])
+		}
+	}
+
+	// Editing a file invalidates exactly that package.
+	leaky := filepath.Join(dir, "leaky", "leaky.go")
+	src, err := os.ReadFile(leaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(leaky, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runDriver(t, "-dir", dir, "-json", "-cache", cache, "./...")
+	if code != 1 {
+		t.Fatalf("post-edit exit %d, want 1", code)
+	}
+	edited := decode(out)
+	if edited.Cached != edited.Packages-1 {
+		t.Errorf("post-edit run: cached=%d of %d, want all but the edited package", edited.Cached, edited.Packages)
+	}
+}
+
+func TestDriverList(t *testing.T) {
+	code, out, _ := runDriver(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d, want 0", code)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}

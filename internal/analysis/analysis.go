@@ -25,7 +25,27 @@
 //   - spanfinish: every created telemetry.Span-shaped value is
 //     Finished on all paths (an unfinished span never reaches the
 //     flight recorder or the latency histograms), mirroring the
-//     iterclose lifecycle contract for trace spans (see spanfinish.go).
+//     iterclose lifecycle contract for trace spans (see spanfinish.go);
+//   - latchorder: lock acquisitions respect the //tango:lock-order
+//     hierarchy — no re-entry of a held class, no acquisition against
+//     the declared partial order — checked through calls via
+//     interprocedural effect summaries (see latchorder.go);
+//   - lockio: no blocking operation (store/file I/O, WAL sync, wire
+//     round trip, unguarded channel op, sleep) is reachable while a
+//     latch-class lock is held (see lockio.go);
+//   - goleak: every spawned goroutine is provably joinable — its
+//     blocking channel ops are buffered, guarded by a done/ctx
+//     select, or matched by a guaranteed counterpart in the spawner
+//     (see goleak.go).
+//
+// The last three are interprocedural: summary.go classifies every
+// function into effect events, callgraph.go folds them bottom-up over
+// the SCC condensation of the call graph into per-function summaries
+// (lock classes acquired, blocking operations reachable, channel ops
+// on parameters), and the analyzers replay each function's critical
+// sections against the summaries of everything it calls. Summaries
+// are serializable; cache.go reuses them across runs keyed on content
+// hashes, so dependency packages are not recomputed.
 //
 // The framework loads and type-checks packages with the standard
 // library only: `go list -export -json -deps` supplies file lists and
@@ -34,7 +54,11 @@
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// comment on the flagged line or the line above it.
+// comment on the flagged line or the line above it, or for a whole
+// file with //lint:file-ignore <analyzer> <reason>. A suppression
+// that no longer matches any finding is itself reported (analyzer
+// name "stalesuppress"), so silenced findings cannot outlive their
+// fix.
 package analysis
 
 import (
@@ -59,7 +83,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{IterClose, ErrLost, AtomicField, SchemaProp, FaultPath, WALOrder, SpanFinish}
+	return []*Analyzer{IterClose, ErrLost, AtomicField, SchemaProp, FaultPath, WALOrder, SpanFinish, LatchOrder, LockIO, GoLeak}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).
@@ -94,14 +118,24 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	pkgInfo *Package
+	facts   *pkgFacts
+	index   *Index
+
 	diags []Diagnostic
 }
 
-// Diagnostic is one finding.
+// pkg returns the full loaded package behind the pass.
+func (p *Pass) pkg() *Package { return p.pkgInfo }
+
+// Diagnostic is one finding. Suggestion, when non-empty, is a
+// machine-applyable fix hint printed by `tangolint -fix` and carried
+// in the JSON report.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suggestion string
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -118,31 +152,78 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// ReportfFix records a finding with a machine-applyable suggestion.
+func (p *Pass) ReportfFix(pos token.Pos, suggestion, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer:   p.Analyzer.Name,
+		Pos:        p.Fset.Position(pos),
+		Message:    fmt.Sprintf(format, args...),
+		Suggestion: suggestion,
+	})
+}
+
 // Run applies the analyzers to the packages and returns the combined,
-// suppression-filtered findings sorted by position.
+// suppression-filtered findings sorted by position. Packages should
+// arrive in dependency order (Load guarantees it) so the
+// interprocedural analyzers see dependency summaries; packages
+// analyzed in isolation simply see fewer cross-package effects.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ix := NewIndex()
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
+		diags, err := AnalyzePackage(pkg, analyzers, ix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	sortDiags(out)
+	return out, nil
+}
+
+// AnalyzePackage computes the package's effect summaries (installing
+// them into ix for downstream packages), runs the analyzers, applies
+// suppressions, and reports stale suppressions. The cache layer calls
+// this per package; Run wraps it for whole-slice use.
+func AnalyzePackage(pkg *Package, analyzers []*Analyzer, ix *Index) ([]Diagnostic, error) {
+	facts := buildPkgFacts(pkg, ix)
+	computeSummaries(facts, ix)
+	return runAnalyzersOn(pkg, facts, analyzers, ix)
+}
+
+// runAnalyzersOn runs the analyzers over a package whose facts and
+// summaries are already in the index. Safe to call concurrently for
+// different packages: the analyzers only read the shared index.
+func runAnalyzersOn(pkg *Package, facts *pkgFacts, analyzers []*Analyzer, ix *Index) ([]Diagnostic, error) {
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			pkgInfo:  pkg,
+			facts:    facts,
+			index:    ix,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			if sup.suppressed(d) {
+				continue
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
-			}
-			for _, d := range pass.diags {
-				if sup.suppressed(d) {
-					continue
-				}
-				out = append(out, d)
-			}
+			out = append(out, d)
 		}
 	}
+	out = append(out, sup.stale(analyzers)...)
+	sortDiags(out)
+	return out, nil
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -154,59 +235,113 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out, nil
 }
 
 // --- suppressions ---
 
-// suppressions maps file → line → set of suppressed analyzer names
-// ("all" suppresses every analyzer).
-type suppressions map[string]map[int]map[string]bool
+// StaleSuppressName is the analyzer name under which unused
+// suppressions are reported. It is a driver-level check, not a
+// regular analyzer: it can only be evaluated after every requested
+// analyzer has run, and it cannot itself be suppressed.
+const StaleSuppressName = "stalesuppress"
 
-// collectSuppressions finds //lint:ignore directives. A directive
-// suppresses findings on its own line (trailing comment) and on the
-// following line (own-line comment).
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
-	sup := suppressions{}
+// suppression is one //lint:ignore or //lint:file-ignore directive.
+type suppression struct {
+	analyzer  string
+	file      string
+	line      int // 0 for file-level directives
+	pos       token.Position
+	fileLevel bool
+	used      bool
+}
+
+type suppressionSet struct {
+	list []*suppression
+}
+
+// collectSuppressions finds //lint:ignore and //lint:file-ignore
+// directives. A line directive suppresses findings on its own line
+// (trailing comment) and on the following line (own-line comment); a
+// file directive suppresses the named analyzer in its whole file.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	sup := &suppressionSet{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "lint:ignore") {
+				fileLevel := false
+				switch {
+				case strings.HasPrefix(text, "lint:file-ignore"):
+					fileLevel = true
+				case strings.HasPrefix(text, "lint:ignore"):
+				default:
 					continue
 				}
 				fields := strings.Fields(text)
 				if len(fields) < 2 {
 					continue // no analyzer name: malformed, ignore
 				}
-				name := fields[1]
 				pos := fset.Position(c.Pos())
-				byLine := sup[pos.Filename]
-				if byLine == nil {
-					byLine = map[int]map[string]bool{}
-					sup[pos.Filename] = byLine
+				s := &suppression{analyzer: fields[1], file: pos.Filename, pos: pos, fileLevel: fileLevel}
+				if !fileLevel {
+					s.line = pos.Line
 				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					if byLine[line] == nil {
-						byLine[line] = map[string]bool{}
-					}
-					byLine[line][name] = true
-				}
+				sup.list = append(sup.list, s)
 			}
 		}
 	}
 	return sup
 }
 
-func (s suppressions) suppressed(d Diagnostic) bool {
-	byLine, ok := s[d.Pos.Filename]
-	if !ok {
-		return false
+// suppressed reports whether the diagnostic is covered by a directive,
+// marking every covering directive as used.
+func (s *suppressionSet) suppressed(d Diagnostic) bool {
+	hit := false
+	for _, sp := range s.list {
+		if sp.file != d.Pos.Filename {
+			continue
+		}
+		if sp.analyzer != d.Analyzer && sp.analyzer != "all" {
+			continue
+		}
+		if sp.fileLevel || sp.line == d.Pos.Line || sp.line+1 == d.Pos.Line {
+			sp.used = true
+			hit = true
+		}
 	}
-	names := byLine[d.Pos.Line]
-	return names[d.Analyzer] || names["all"]
+	return hit
+}
+
+// stale returns a diagnostic for every directive that names an
+// analyzer in the run set but matched no finding — a suppression that
+// has outlived its finding hides the next real one, so it must go.
+func (s *suppressionSet) stale(analyzers []*Analyzer) []Diagnostic {
+	inSet := map[string]bool{"all": true}
+	for _, a := range analyzers {
+		inSet[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, sp := range s.list {
+		if sp.used || !inSet[sp.analyzer] {
+			continue
+		}
+		form := "//lint:ignore"
+		if sp.fileLevel {
+			form = "//lint:file-ignore"
+		}
+		out = append(out, Diagnostic{
+			Analyzer:   StaleSuppressName,
+			Pos:        sp.pos,
+			Message:    fmt.Sprintf("stale suppression: %s %s matches no finding; delete it", form, sp.analyzer),
+			Suggestion: "delete the suppression comment",
+		})
+	}
+	return out
 }
 
 // --- shared type helpers ---

@@ -1,0 +1,224 @@
+package analysis
+
+// The summary cache: per-package analysis results and effect
+// summaries, keyed by a content hash over the tool version, the
+// analyzer set, the package's own sources, and the hashes of its
+// in-run dependencies. A warm run deserializes dependency summaries
+// instead of recomputing them, so the interprocedural layer costs
+// nothing on packages that did not change — and a cached package's
+// findings are byte-identical to a cold run's, because everything a
+// finding can depend on is folded into the key.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// RunOptions configures a cached, parallel analysis run.
+type RunOptions struct {
+	CacheDir string // "" disables the cache
+	Parallel int    // max packages analyzed concurrently; <= 1 is serial
+	Version  string // tool version folded into cache keys
+}
+
+// RunStats reports what a cached run did.
+type RunStats struct {
+	Packages int // packages analyzed
+	Cached   int // of which were served from the cache
+}
+
+// cacheEntry is one package's serialized analysis result.
+type cacheEntry struct {
+	Package   string                   `json:"package"`
+	Diags     []Diagnostic             `json:"diags,omitempty"`
+	Summaries map[string]*FuncEffects  `json:"summaries,omitempty"`
+	Classes   map[string]LockClassDecl `json:"classes,omitempty"`
+	Edges     []OrderEdge              `json:"edges,omitempty"`
+}
+
+// RunCached is Run with a summary cache and per-package parallelism.
+// Packages must arrive in dependency order (Load guarantees it).
+// Summaries and lock declarations are installed serially in that
+// order — from the cache when the package's hash matches, recomputed
+// otherwise — and then the analyzers run in parallel over the
+// packages that missed, against the now-complete index.
+func RunCached(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, RunStats, error) {
+	stats := RunStats{Packages: len(pkgs)}
+	ix := NewIndex()
+	base := baseHash(analyzers, opts.Version)
+
+	type job struct {
+		i     int
+		pkg   *Package
+		facts *pkgFacts
+		hash  string
+	}
+	results := make([][]Diagnostic, len(pkgs))
+	hashes := map[string]string{}
+	var jobs []job
+
+	for i, pkg := range pkgs {
+		h, err := pkgHash(base, pkg, hashes)
+		if err != nil {
+			return nil, stats, err
+		}
+		hashes[pkg.Path] = h
+		if entry := readEntry(opts.CacheDir, h, pkg.Path); entry != nil {
+			ix.addPackageDecls(entry.Classes, entry.Edges)
+			ix.addEffects(entry.Summaries)
+			results[i] = entry.Diags
+			stats.Cached++
+			continue
+		}
+		facts := buildPkgFacts(pkg, ix)
+		computeSummaries(facts, ix)
+		jobs = append(jobs, job{i: i, pkg: pkg, facts: facts, hash: h})
+	}
+
+	par := opts.Parallel
+	if par < 1 {
+		par = 1
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			diags, err := runAnalyzersOn(j.pkg, j.facts, analyzers, ix)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			results[j.i] = diags
+			writeEntry(opts.CacheDir, j.hash, &cacheEntry{
+				Package:   j.pkg.Path,
+				Diags:     diags,
+				Summaries: packageSummaries(j.facts, ix),
+				Classes:   j.facts.classes,
+				Edges:     j.facts.edges,
+			})
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+
+	var out []Diagnostic
+	for _, diags := range results {
+		out = append(out, diags...)
+	}
+	sortDiags(out)
+	return out, stats, nil
+}
+
+// packageSummaries extracts the package's own function summaries from
+// the index for serialization.
+func packageSummaries(facts *pkgFacts, ix *Index) map[string]*FuncEffects {
+	out := map[string]*FuncEffects{}
+	for key := range facts.funcs {
+		if eff := ix.effects(key); eff != nil {
+			out[key] = eff
+		}
+	}
+	return out
+}
+
+// baseHash folds everything run-global into the key: tool version,
+// toolchain version, and the analyzer set.
+func baseHash(analyzers []*Analyzer, version string) []byte {
+	h := sha256.New()
+	fmt.Fprintln(h, "tangolint-cache-v1")
+	fmt.Fprintln(h, version)
+	fmt.Fprintln(h, runtime.Version())
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintln(h, n)
+	}
+	return h.Sum(nil)
+}
+
+// pkgHash hashes one package: the base hash, the package path, every
+// source file's contents, and the hashes of its in-run dependencies
+// (computed first thanks to the topological package order). Out-of-run
+// dependencies (the standard library) ride on the toolchain version in
+// the base hash.
+func pkgHash(base []byte, pkg *Package, depHashes map[string]string) (string, error) {
+	h := sha256.New()
+	h.Write(base)
+	fmt.Fprintln(h, pkg.Path)
+	for _, file := range pkg.GoFiles {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return "", fmt.Errorf("analysis: hashing %s: %w", file, err)
+		}
+		fmt.Fprintln(h, file, len(data))
+		h.Write(data)
+	}
+	deps := append([]string(nil), pkg.Imports...)
+	sort.Strings(deps)
+	for _, dep := range deps {
+		if dh, ok := depHashes[dep]; ok {
+			fmt.Fprintln(h, dep, dh)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// readEntry loads a cache entry; any failure (missing, corrupt, path
+// mismatch) is a miss.
+func readEntry(dir, hash, pkgPath string) *cacheEntry {
+	if dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(dir, hash+".json"))
+	if err != nil {
+		return nil
+	}
+	entry := new(cacheEntry)
+	if err := json.Unmarshal(data, entry); err != nil || entry.Package != pkgPath {
+		return nil
+	}
+	return entry
+}
+
+// writeEntry persists a cache entry best-effort: a full disk or
+// read-only checkout degrades to an uncached run, never a failure.
+func writeEntry(dir, hash string, entry *cacheEntry) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, hash+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(dir, hash+".json"))
+}

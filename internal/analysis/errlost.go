@@ -20,6 +20,13 @@ import (
 // single-result discard `_ = x.Close()`, which is visible
 // acknowledgment. Anything subtler needs handling or a
 // //lint:ignore errlost comment explaining why the drop is safe.
+//
+// Exception to the exception: in durability-tagged packages
+// (//tango:durability, the walorder opt-in) `defer x.Close()` IS a
+// finding. On a durability path Close is where buffered writes and
+// the final fsync surface their failure — deferring it without
+// capturing the error (e.g. into a named return) silently reports a
+// torn file as committed.
 var ErrLost = &Analyzer{
 	Name: "errlost",
 	Doc:  "check that errors from Close/Next/Open and wire calls are not dropped",
@@ -36,9 +43,17 @@ var errLostMethods = map[string]bool{"Close": true, "Next": true, "Open": true}
 var errLostPkgSuffixes = []string{"internal/wire"}
 
 func runErrLost(pass *Pass) error {
+	durable := hasDurabilityTag(pass.Files)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch s := n.(type) {
+			case *ast.DeferStmt:
+				if !durable {
+					return true
+				}
+				if name, idx := errLostTarget(pass, s.Call); idx >= 0 && calleeName(pass, s.Call) == "Close" {
+					pass.Reportf(s.Call.Pos(), "error returned by deferred %s is silently dropped on a durability path: capture it (e.g. `defer func() { err = f.Close() }()`)", name)
+				}
 			case *ast.ExprStmt:
 				call, ok := s.X.(*ast.CallExpr)
 				if !ok {
@@ -125,6 +140,14 @@ func checkErrLostAssign(pass *Pass, as *ast.AssignStmt) {
 		return
 	}
 	pass.Reportf(errLHS.Pos(), "error result of %s assigned to _ while other results are kept", name)
+}
+
+// calleeName returns the called function's bare name, or "".
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		return fn.Name()
+	}
+	return ""
 }
 
 // recvTypeName renders the receiver type name of a method signature.

@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak checks that every spawned goroutine is provably joinable.
+// A goroutine leaks when it blocks forever on a channel nobody will
+// ever service — the PR-4 windowed-fetch delivery bug: a delivery
+// goroutine sent its batch on an unbuffered future channel, and when
+// the consumer abandoned the window (Close, error, early EOF) the
+// send blocked forever, pinning the batch and the goroutine.
+//
+// For each `go` statement the analyzer examines the goroutine body
+// (function literal, or the callee's effect summary for `go f(ch)` —
+// the interprocedural case, including literals that call a helper
+// with the channel as an argument) and collects its *unguarded*
+// blocking channel operations: sends/receives not inside a select
+// with a `default` or a done/ctx/timeout case. An unguarded op is a
+// leak unless the channel is provably serviced:
+//
+//   - the channel was made with a buffer (`make(chan T, n)`, n >= 1):
+//     the send completes even if the consumer walks away — exactly
+//     the PR-4 fix; or
+//   - the spawning function unconditionally services the other end
+//     after the spawn (a top-level receive/range for a send, a
+//     top-level send or close — deferred close counts — for a
+//     receive).
+//
+// A receive inside a select with competing cases is NOT a guaranteed
+// receiver — that is precisely how the PR-4 leak escaped review.
+// Channels whose origin is invisible (parameters, fields, unknown
+// buffer sizes) are skipped: the analyzer is conservative-but-quiet.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "check that spawned goroutines cannot block forever on an unserviced channel",
+	Run:  runGoLeak,
+}
+
+// chanUse is one unguarded blocking channel op attributed to a spawn.
+type chanUse struct {
+	obj  *types.Var // the channel variable in the spawning function
+	send bool
+	pos  token.Pos // op position (literal body) or the go statement
+	via  string    // helper name for interprocedural ops ("" = direct)
+}
+
+func runGoLeak(pass *Pass) error {
+	for _, ff := range pass.facts.order {
+		for _, ev := range ff.events {
+			if ev.kind != evSpawn {
+				continue
+			}
+			checkSpawn(pass, ff, ev.goStmt)
+		}
+	}
+	return nil
+}
+
+func checkSpawn(pass *Pass, ff *funcFacts, g *ast.GoStmt) {
+	uses := spawnChanUses(pass, ff, g)
+	for _, u := range uses {
+		buffered, known := chanBuffering(pass, ff.decl, u.obj)
+		if !known || buffered {
+			continue
+		}
+		if spawnerServices(pass, ff.decl, g, u.obj, u.send) {
+			continue
+		}
+		op := "receiving from"
+		fix := "guarantee a sender or select on a done/ctx channel"
+		if u.send {
+			op = "sending on"
+			fix = "buffer the channel, guarantee a receiver, or select on a done/ctx channel"
+		}
+		via := ""
+		if u.via != "" {
+			via = " (via " + u.via + ")"
+		}
+		pass.Reportf(g.Pos(), "goroutine may block forever %s unbuffered channel %q%s with no guaranteed counterpart in the spawner: %s",
+			op, u.obj.Name(), via, fix)
+	}
+}
+
+// spawnChanUses collects the unguarded blocking channel ops the
+// spawned goroutine can perform on channels that resolve to variables
+// of the spawning function: directly in a literal body, or through a
+// called function's summary (parameter-passed channels).
+func spawnChanUses(pass *Pass, ff *funcFacts, g *ast.GoStmt) []chanUse {
+	var uses []chanUse
+	lit, _ := g.Call.Fun.(*ast.FuncLit)
+	addExpr := func(x ast.Expr, send bool, pos token.Pos, via string) {
+		obj := localChanVar(pass, ff.decl, x)
+		if obj == nil {
+			return
+		}
+		if lit != nil && obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return // channel local to the goroutine itself: its lifecycle is its own
+		}
+		uses = append(uses, chanUse{obj: obj, send: send, pos: pos, via: via})
+	}
+
+	// Helper-call handling shared by both shapes: map the callee's
+	// parameter-channel ops back to the argument expressions.
+	addCallOps := func(call *ast.CallExpr, via bool) {
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return
+		}
+		eff := pass.index.effects(funcKey(fn))
+		if eff == nil {
+			return
+		}
+		name := fn.Name()
+		for _, op := range eff.ChanOps {
+			if op.Param < 0 || op.Param >= len(call.Args) {
+				continue
+			}
+			addExpr(call.Args[op.Param], op.Send, call.Pos(), name+" at "+op.Pos)
+		}
+	}
+
+	if lit != nil {
+		// Walk the literal body with the same event classification the
+		// summaries use, so select guarding matches exactly.
+		tmp := &funcFacts{key: "", name: ff.name + ".func", decl: ff.decl}
+		w := &eventWalker{pkg: pass.pkg(), index: pass.index, ff: tmp}
+		w.walkBody(lit.Body, walkCtx{})
+		for _, ev := range tmp.events {
+			switch ev.kind {
+			case evChanOp:
+				if !ev.guarded {
+					addExpr(ev.chanEx, ev.send, ev.pos, "")
+				}
+			case evCall:
+				addCallOps(ev.call, true)
+			}
+		}
+		return uses
+	}
+	addCallOps(g.Call, false)
+	return uses
+}
+
+// localChanVar resolves a channel expression to a variable declared in
+// the spawning function (its body or parameters); nil for fields,
+// globals, and anything else.
+func localChanVar(pass *Pass, decl *ast.FuncDecl, x ast.Expr) *types.Var {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, _ := pass.Info.Uses[id].(*types.Var)
+	if obj == nil {
+		obj, _ = pass.Info.Defs[id].(*types.Var)
+	}
+	if obj == nil || obj.IsField() {
+		return nil
+	}
+	if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	if decl == nil || obj.Pos() < decl.Pos() || obj.Pos() > decl.End() {
+		return nil // not declared within the spawning function
+	}
+	return obj
+}
+
+// chanBuffering finds the `make(chan ...)` that defines the variable
+// inside the function and reports whether it is buffered. known is
+// false when no visible make with a constant capacity defines it.
+func chanBuffering(pass *Pass, decl *ast.FuncDecl, obj *types.Var) (buffered, known bool) {
+	if decl == nil || decl.Body == nil {
+		return false, false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var lhs []ast.Expr
+		var rhs []ast.Expr
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			lhs, rhs = s.Lhs, s.Rhs
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				lhs = append(lhs, name)
+			}
+			rhs = s.Values
+		default:
+			return true
+		}
+		if len(lhs) != len(rhs) {
+			return true
+		}
+		for i, l := range lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			def, _ := pass.Info.Defs[id].(*types.Var)
+			if def == nil {
+				def, _ = pass.Info.Uses[id].(*types.Var)
+			}
+			if def != obj {
+				continue
+			}
+			call, ok := ast.Unparen(rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || fid.Name != "make" {
+				continue
+			}
+			if len(call.Args) == 1 {
+				buffered, known, found = false, true, true
+				return false
+			}
+			if len(call.Args) >= 2 {
+				if tv, ok := pass.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+					if v, err := constInt(tv.Value.ExactString()); err == nil {
+						buffered, known, found = v >= 1, true, true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return buffered, known
+}
+
+func constInt(s string) (int64, error) {
+	var v int64
+	var neg bool
+	for i, r := range s {
+		if i == 0 && r == '-' {
+			neg = true
+			continue
+		}
+		if r < '0' || r > '9' {
+			return 0, errNotInt
+		}
+		v = v*10 + int64(r-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+var errNotInt = errNotIntType{}
+
+type errNotIntType struct{}
+
+func (errNotIntType) Error() string { return "not an integer" }
+
+// spawnerServices reports whether the spawning function guarantees the
+// counterpart operation after the go statement: for a goroutine SEND,
+// an unconditional receive (top-level `<-ch`, assignment from `<-ch`,
+// or `for range ch`); for a goroutine RECEIVE, an unconditional send
+// or a close (a deferred close anywhere counts — defers run on all
+// paths).
+func spawnerServices(pass *Pass, decl *ast.FuncDecl, g *ast.GoStmt, obj *types.Var, goroutineSends bool) bool {
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	sameChan := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		use, _ := pass.Info.Uses[id].(*types.Var)
+		return use == obj
+	}
+	isRecv := func(x ast.Expr) bool {
+		u, ok := ast.Unparen(x).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW && sameChan(u.X)
+	}
+	isClose := func(x ast.Expr) bool {
+		call, ok := ast.Unparen(x).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "close" && sameChan(call.Args[0])
+	}
+
+	// Deferred closes anywhere in the function count for receives.
+	if !goroutineSends {
+		closed := false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			if isClose(d.Call) {
+				closed = true
+			}
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if es, ok := m.(*ast.ExprStmt); ok && isClose(es.X) {
+						closed = true
+					}
+					return true
+				})
+			}
+			return !closed
+		})
+		if closed {
+			return true
+		}
+	}
+
+	// Top-level statements after the spawn.
+	for _, st := range decl.Body.List {
+		if st.Pos() <= g.End() {
+			continue
+		}
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if goroutineSends && isRecv(s.X) {
+				return true
+			}
+			if !goroutineSends && isClose(s.X) {
+				return true
+			}
+		case *ast.AssignStmt:
+			if goroutineSends {
+				for _, r := range s.Rhs {
+					if isRecv(r) {
+						return true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if !goroutineSends && sameChan(s.Chan) {
+				return true
+			}
+		case *ast.RangeStmt:
+			if goroutineSends && sameChan(s.X) {
+				return true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if goroutineSends && isRecv(r) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -20,12 +20,14 @@ import (
 
 // Package is one parsed and type-checked package ready for analysis.
 type Package struct {
-	Path  string
-	Dir   string
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path    string
+	Dir     string
+	GoFiles []string // absolute paths, for content hashing
+	Imports []string // direct imports, for dependency-ordered caching
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
 }
 
 // listPkg is the subset of `go list -json` output the loader needs.
@@ -35,6 +37,7 @@ type listPkg struct {
 	Name       string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	Incomplete bool
@@ -44,7 +47,7 @@ type listPkg struct {
 // goList runs `go list` with the given arguments in dir and decodes
 // the JSON package stream.
 func goList(dir string, args ...string) ([]*listPkg, error) {
-	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Dir,Name,GoFiles,CgoFiles,Export,Standard,Incomplete"}, args...)...)
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Dir,Name,GoFiles,CgoFiles,Imports,Export,Standard,Incomplete"}, args...)...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
@@ -114,12 +117,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "gc", exports.open)
 
 	var out []*Package
-	var paths []string
-	for path := range wanted {
-		paths = append(paths, path)
-	}
-	sort.Strings(paths)
-	for _, path := range paths {
+	for _, path := range topoOrder(wanted, byPath) {
 		p := byPath[path]
 		if p == nil || p.Standard || p.Name == "" {
 			continue
@@ -131,9 +129,49 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.Imports = append(pkg.Imports, p.Imports...)
+		for _, name := range p.GoFiles {
+			pkg.GoFiles = append(pkg.GoFiles, filepath.Join(p.Dir, name))
+		}
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// topoOrder sorts the wanted packages so that every package follows
+// the wanted packages it imports — the order the interprocedural
+// summary pipeline needs (callee summaries before callers). Ties and
+// cycles (impossible in valid Go) fall back to path order for
+// determinism.
+func topoOrder(wanted map[string]bool, byPath map[string]*listPkg) []string {
+	paths := make([]string, 0, len(wanted))
+	for path := range wanted {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var out []string
+	var visit func(path string)
+	visit = func(path string) {
+		if state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		if p := byPath[path]; p != nil {
+			for _, dep := range p.Imports {
+				if wanted[dep] {
+					visit(dep)
+				}
+			}
+		}
+		state[path] = 2
+		out = append(out, path)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
 }
 
 // LoadDir parses and type-checks the single package rooted at dir
@@ -192,7 +230,14 @@ func LoadDir(dir string) (*Package, error) {
 		}
 	}
 	imp := importer.ForCompiler(fset, "gc", exports.open)
-	return checkPackageFiles(fset, imp, parsed[0].Name.Name, dir, parsed)
+	pkg, err := checkPackageFiles(fset, imp, parsed[0].Name.Name, dir, parsed)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range files {
+		pkg.GoFiles = append(pkg.GoFiles, filepath.Join(dir, name))
+	}
+	return pkg, nil
 }
 
 // checkPackage parses the named files and type-checks them as one

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// LockIO forbids blocking operations while a latch-class lock is
+// held. A latch (`//tango:lock-order <class> latch` on the field) is
+// a short in-memory critical section — the page-latch / session-table
+// / metrics-registry discipline — and nothing that can wait on the
+// outside world may run under one: no store or file I/O, no WAL
+// fsync, no wire round trip, no unbounded channel send/receive, no
+// sleep. The canonical positive pattern is the WAL group commit:
+// hold the latch, append to the in-memory buffer, release, THEN Sync.
+//
+// The check is interprocedural: a call made under a latch is charged
+// with every blocking effect in its transitive summary, and the
+// diagnostic carries the witness call path. Channel operations inside
+// a select with a `default` (or a done/ctx case) are non-blocking and
+// exempt. Ordered (non-latch) classes — the store lock that
+// serializes durable I/O, the cursor lock that serializes fetches —
+// are deliberately out of scope: blocking under them is their job.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "check that no blocking operation is reachable while a latch-class lock is held",
+	Run:  runLockIO,
+}
+
+func runLockIO(pass *Pass) error {
+	for _, ff := range pass.facts.order {
+		ff := ff
+		simulateHeld(ff, func(ev funcEvent, held []heldLock) {
+			latch, latchPos := firstHeldLatch(pass, held)
+			if latch == "" {
+				return
+			}
+			switch ev.kind {
+			case evBlock:
+				pass.Reportf(ev.pos, "%s performs blocking %s (%s) while latch-class lock %q is held (since line %d): release the latch before blocking",
+					ff.name, ev.block.Kind, ev.block.Detail, latch, pass.Fset.Position(latchPos).Line)
+			case evChanOp:
+				if ev.guarded {
+					return
+				}
+				op := "receive from"
+				if ev.send {
+					op = "send on"
+				}
+				pass.Reportf(ev.pos, "%s performs blocking channel %s %q while latch-class lock %q is held (since line %d): use a buffered/guarded send or release the latch",
+					ff.name, op, ev.block.Detail, latch, pass.Fset.Position(latchPos).Line)
+			case evCall:
+				eff := pass.index.effects(ev.calleeKey)
+				if eff == nil {
+					return
+				}
+				for _, b := range eff.Blocks {
+					// A block whose Unlocked set covers the held latch runs
+					// hand-over-hand: the callee provably releases the
+					// caller's latch before blocking and relocks after.
+					if containsClass(b.Unlocked, latch) {
+						continue
+					}
+					pass.Reportf(ev.pos, "%s calls into blocking %s (%s, via %s) while latch-class lock %q is held (since line %d)",
+						ff.name, b.Kind, b.Detail, strings.Join(b.Path, " -> "), latch, pass.Fset.Position(latchPos).Line)
+					return
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// containsClass reports whether the sorted class list contains c.
+func containsClass(list []string, c string) bool {
+	for _, k := range list {
+		if k == c {
+			return true
+		}
+	}
+	return false
+}
+
+// firstHeldLatch returns the first latch-marked class in the held set.
+func firstHeldLatch(pass *Pass, held []heldLock) (string, token.Pos) {
+	for _, h := range held {
+		if pass.index.isLatch(h.class) {
+			return h.class, h.pos
+		}
+	}
+	return "", token.NoPos
+}

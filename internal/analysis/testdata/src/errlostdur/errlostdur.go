@@ -1,0 +1,40 @@
+// Package errlostdur is the durability-tagged counterpart of the
+// errlost fixture: here `defer f.Close()` is NOT a sanctioned cleanup
+// idiom. On a durability path Close is where buffered writes and the
+// final fsync surface their failure, so deferring it without capturing
+// the error reports a torn file as committed.
+//
+//tango:durability
+package errlostdur
+
+type file struct{}
+
+func (*file) Close() error { return nil }
+func (*file) Open() error  { return nil }
+
+// badDeferredClose drops the one error that proves the commit.
+func badDeferredClose(f *file) error {
+	defer f.Close() // want `error returned by deferred file\.Close is silently dropped on a durability path`
+	return nil
+}
+
+// okCapturedClose threads the close error into the named return.
+func okCapturedClose(f *file) (err error) {
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// okExplicitClose handles the error in line.
+func okExplicitClose(f *file) error {
+	return f.Close()
+}
+
+// okDeferredNonClose: only Close carries the commit semantics; other
+// deferred lifecycle calls keep the plain-package exemption.
+func okDeferredNonClose(f *file) {
+	defer f.Open()
+}

@@ -1,0 +1,139 @@
+// Package goleak seeds goroutines that can block forever on a channel
+// nobody is guaranteed to service. The shape under test is the PR-4
+// windowed-delivery bug: a delivery goroutine sends its batch on an
+// unbuffered future channel, and when the consumer abandons the window
+// (close, error, early EOF) the send blocks forever, pinning both the
+// goroutine and the batch it carries.
+package goleak
+
+type batch struct{ rows int }
+
+// badWindowedDelivery is the PR-4 leak: the consumer's select has a
+// default and may never receive, so the unbuffered send can hang.
+func badWindowedDelivery() {
+	res := make(chan batch)
+	go func() { // want `goroutine may block forever sending on unbuffered channel "res"`
+		res <- batch{rows: 1}
+	}()
+	select {
+	case <-res:
+	default:
+	}
+}
+
+// okBufferedDelivery is the PR-4 fix: a one-slot buffer lets the
+// delivery complete even if nobody ever receives.
+func okBufferedDelivery() {
+	res := make(chan batch, 1)
+	go func() {
+		res <- batch{rows: 1}
+	}()
+	select {
+	case <-res:
+	default:
+	}
+}
+
+// okReceivedDelivery: the spawner unconditionally receives.
+func okReceivedDelivery() {
+	res := make(chan batch)
+	go func() {
+		res <- batch{}
+	}()
+	<-res
+}
+
+// okRangedDelivery: a range over the channel services every send.
+func okRangedDelivery() {
+	res := make(chan batch)
+	go func() {
+		res <- batch{}
+		res <- batch{}
+	}()
+	for range res {
+	}
+}
+
+// okGuardedDelivery: the goroutine's send competes with a done-shaped
+// channel, so it cannot hang.
+func okGuardedDelivery(stop chan struct{}) {
+	res := make(chan batch)
+	go func() {
+		select {
+		case res <- batch{}:
+		case <-stop:
+		}
+	}()
+	select {
+	case <-res:
+	case <-stop:
+	}
+}
+
+// badAbandonedReceive: the goroutine waits for a message nobody sends.
+func badAbandonedReceive() {
+	done := make(chan int)
+	go func() { // want `goroutine may block forever receiving from unbuffered channel "done"`
+		<-done
+	}()
+}
+
+// okClosedReceive: a deferred close runs on every path and releases
+// the receiver.
+func okClosedReceive() int {
+	done := make(chan int)
+	defer close(done)
+	go func() {
+		<-done
+	}()
+	return 0
+}
+
+// deliver blocks on its parameter channel on behalf of spawners.
+func deliver(out chan batch) {
+	out <- batch{}
+}
+
+// badHelperDelivery: `go deliver(res)` — the leak is visible only
+// through deliver's effect summary.
+func badHelperDelivery() {
+	res := make(chan batch)
+	go deliver(res) // want `goroutine may block forever sending on unbuffered channel "res" \(via deliver`
+	select {
+	case <-res:
+	default:
+	}
+}
+
+// okHelperDelivery: same helper, buffered future.
+func okHelperDelivery() {
+	res := make(chan batch, 1)
+	go deliver(res)
+}
+
+// badLiteralHelperDelivery: the literal hands the channel to the
+// helper — interprocedural through one more hop.
+func badLiteralHelperDelivery() {
+	res := make(chan batch)
+	go func() { // want `sending on unbuffered channel "res" \(via deliver`
+		deliver(res)
+	}()
+}
+
+// okInnerChannel: a channel made and consumed inside the goroutine is
+// its own affair.
+func okInnerChannel() {
+	go func() {
+		inner := make(chan int, 1)
+		inner <- 1
+		<-inner
+	}()
+}
+
+// okParamChannel: the spawner does not own the channel; its buffering
+// is invisible, so the analyzer stays quiet.
+func okParamChannel(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}

@@ -1,0 +1,120 @@
+// Package latchorder seeds violations of the declared lock hierarchy
+// for the latchorder analyzer: ordered nesting is fine, inversions and
+// class re-entry are not, and both must be caught through helper calls
+// via the interprocedural effect summaries.
+package latchorder
+
+import "sync"
+
+//tango:lock-order catalog < pool < store
+
+// DB guards schema metadata.
+type DB struct {
+	cmu sync.RWMutex //tango:lock-order catalog
+}
+
+// Pool guards in-memory frames; a latch, though latchorder does not
+// care — only lockio distinguishes latches.
+type Pool struct {
+	mu sync.Mutex //tango:lock-order pool latch
+}
+
+// Store serializes durable I/O.
+type Store struct {
+	mu sync.Mutex //tango:lock-order store
+}
+
+// Side is declared but deliberately unrelated to the chain: the order
+// is partial, and incomparable classes are unconstrained.
+type Side struct {
+	mu sync.Mutex //tango:lock-order side
+}
+
+type sys struct {
+	db   *DB
+	pool *Pool
+	st   *Store
+}
+
+// okNested acquires along the declared order.
+func (s *sys) okNested() {
+	s.db.cmu.Lock()
+	defer s.db.cmu.Unlock()
+	s.pool.mu.Lock()
+	defer s.pool.mu.Unlock()
+}
+
+// okSequential releases before acquiring against the order.
+func (s *sys) okSequential() {
+	s.st.mu.Lock()
+	s.st.mu.Unlock()
+	s.db.cmu.Lock()
+	s.db.cmu.Unlock()
+}
+
+// badInversion acquires catalog while pool is held: catalog < pool.
+func (s *sys) badInversion() {
+	s.pool.mu.Lock()
+	defer s.pool.mu.Unlock()
+	s.db.cmu.Lock() // want `acquires lock class "catalog" while holding "pool"`
+	s.db.cmu.Unlock()
+}
+
+// badReentry re-enters a held class — a self-deadlock on the same
+// instance and an undeclared nesting on another.
+func (s *sys) badReentry(other *Pool) {
+	s.pool.mu.Lock()
+	defer s.pool.mu.Unlock()
+	other.mu.Lock() // want `re-enters lock class "pool"`
+	other.mu.Unlock()
+}
+
+// loadMeta acquires catalog on behalf of its callers.
+func (s *sys) loadMeta() {
+	s.db.cmu.RLock()
+	defer s.db.cmu.RUnlock()
+}
+
+// badThroughHelper holds store and calls a helper whose summary
+// acquires catalog: the inversion is charged at the call site.
+func (s *sys) badThroughHelper() {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	s.loadMeta() // want `acquires lock class "catalog" while holding "store".*via`
+}
+
+// okThroughHelper calls the same helper with nothing held.
+func (s *sys) okThroughHelper() {
+	s.loadMeta()
+}
+
+// okUnrelated holds an incomparable class: no declared relation, no
+// finding.
+func (s *sys) okUnrelated(side *Side) {
+	side.mu.Lock()
+	defer side.mu.Unlock()
+	s.db.cmu.Lock()
+	s.db.cmu.Unlock()
+}
+
+// Bad carries a malformed directive: class names are lower-case.
+type Bad struct {
+	mu sync.Mutex //tango:lock-order NotAClass // want `malformed //tango:lock-order directive`
+}
+
+func use(b *Bad) { b.mu.Lock(); b.mu.Unlock() }
+
+// dropAndRelock releases the caller's pool latch around slow work and
+// reacquires it: restoring the caller's hold, not a fresh acquisition.
+func (p *Pool) dropAndRelock() {
+	p.mu.Unlock()
+	p.mu.Lock()
+}
+
+// okHandOverHand calls the drop/relock helper with the latch held; the
+// reacquire inside must not count as class re-entry.
+func (p *Pool) okHandOverHand() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropAndRelock()
+}

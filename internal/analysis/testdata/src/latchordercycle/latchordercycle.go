@@ -1,0 +1,23 @@
+// Package latchordercycle declares a cyclic lock order, which the
+// latchorder analyzer must reject at the declaring directives: a
+// cyclic "order" permits every interleaving and therefore none.
+package latchordercycle
+
+import "sync"
+
+//tango:lock-order wal < heap // want `closes a cycle`
+
+//tango:lock-order heap < wal // want `closes a cycle`
+
+// W exists so the classes are attached to real fields.
+type W struct {
+	wmu sync.Mutex //tango:lock-order wal
+	hmu sync.Mutex //tango:lock-order heap
+}
+
+func (w *W) use() {
+	w.wmu.Lock()
+	w.wmu.Unlock()
+	w.hmu.Lock()
+	w.hmu.Unlock()
+}

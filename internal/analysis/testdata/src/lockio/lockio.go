@@ -1,0 +1,152 @@
+// Package lockio seeds blocking operations under latch-class locks.
+// A latch is a short in-memory critical section; store/file I/O, WAL
+// syncs, sleeps, and unbounded channel ops must happen outside it.
+// The canonical good citizen is the group commit: hold the latch for
+// the in-memory append only, release, then Sync.
+package lockio
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// Store is store-shaped (ReadPage/WritePage), so its Sync is a
+// durability barrier; its lock is ordered, NOT a latch — serializing
+// durable I/O is its job.
+type Store struct {
+	mu  sync.Mutex //tango:lock-order store-lock
+	f   *os.File
+	buf []byte
+}
+
+func (s *Store) ReadPage(n int) []byte     { return nil }
+func (s *Store) WritePage(n int, b []byte) {}
+func (s *Store) Sync()                     {}
+func (s *Store) Append(b []byte)           { s.buf = append(s.buf, b...) }
+
+// Pool is a frame-table latch.
+type Pool struct {
+	mu    sync.Mutex //tango:lock-order frame latch
+	pages map[int][]byte
+}
+
+// badReadUnderLatch does page I/O inside the latch.
+func (p *Pool) badReadUnderLatch(s *Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pages[0] = s.ReadPage(0) // want `performs blocking store-io`
+}
+
+// okReadOutsideLatch releases first.
+func (p *Pool) okReadOutsideLatch(s *Store) {
+	p.mu.Lock()
+	delete(p.pages, 0)
+	p.mu.Unlock()
+	s.ReadPage(0)
+}
+
+// badFileSyncUnderLatch fsyncs while latched.
+func (p *Pool) badFileSyncUnderLatch(s *Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.f.Sync() // want `performs blocking file-io`
+}
+
+// badSleepUnderLatch parks the latch holder.
+func (p *Pool) badSleepUnderLatch() {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // want `performs blocking sleep`
+	p.mu.Unlock()
+}
+
+// badSendUnderLatch blocks on a channel while latched.
+func (p *Pool) badSendUnderLatch(ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch <- 1 // want `performs blocking channel send`
+}
+
+// badRecvUnderLatch blocks receiving while latched.
+func (p *Pool) badRecvUnderLatch(ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	<-ch // want `performs blocking channel receive`
+}
+
+// okGuardedSendUnderLatch cannot block: the select has a default.
+func (p *Pool) okGuardedSendUnderLatch(ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// okGroupCommit holds the latch for the in-memory append only and
+// syncs after releasing — the pattern the analyzer exists to protect.
+func (p *Pool) okGroupCommit(s *Store, rec []byte) {
+	p.mu.Lock()
+	s.Append(rec)
+	p.mu.Unlock()
+	s.Sync()
+}
+
+// flushHelper blocks on behalf of its callers.
+func flushHelper(s *Store) {
+	s.Sync()
+}
+
+// badThroughHelper reaches the sync through a call: the effect summary
+// charges the call site.
+func (p *Pool) badThroughHelper(s *Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	flushHelper(s) // want `calls into blocking wal-sync.*via flushHelper`
+}
+
+// okHelperOutsideLatch calls the same helper after releasing.
+func (p *Pool) okHelperOutsideLatch(s *Store) {
+	p.mu.Lock()
+	p.mu.Unlock()
+	flushHelper(s)
+}
+
+// okBlockingUnderOrderedLock: the store lock is ordered, not a latch;
+// blocking under it is its purpose.
+func (s *Store) okBlockingUnderOrderedLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Sync()
+}
+
+// writeUnlatched is the hand-over-hand eviction shape: it drops the
+// caller's latch, writes back, and relocks before returning.
+func (p *Pool) writeUnlatched(s *Store) {
+	p.mu.Unlock()
+	s.WritePage(0, nil)
+	p.mu.Lock()
+}
+
+// okHandOverHand holds the latch but delegates the write to a helper
+// that provably releases it first: the block's Unlocked set covers the
+// latch, so no finding.
+func (p *Pool) okHandOverHand(s *Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.writeUnlatched(s)
+}
+
+// writeLatched never releases: the same call shape must still report.
+func (p *Pool) writeLatched(s *Store) {
+	s.WritePage(0, nil)
+}
+
+// badNotHandOverHand proves the exemption is earned by the release,
+// not by the helper indirection.
+func (p *Pool) badNotHandOverHand(s *Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.writeLatched(s) // want `calls into blocking store-io.*writeLatched`
+}

@@ -1,0 +1,31 @@
+// Package suppress exercises the suppression machinery itself:
+// file-level //lint:file-ignore directives, used line directives, and
+// the stale-suppression check that keeps silenced findings from
+// outliving their fix.
+//
+//lint:file-ignore errlost fixture: every dropped error below is deliberate
+package suppress
+
+type res struct{}
+
+func (*res) Close() error             { return nil }
+func (*res) Next() (int, bool, error) { return 0, false, nil }
+
+// fileIgnored drops lifecycle errors with impunity: the file-level
+// directive covers the whole file, so none of these may surface.
+func fileIgnored(r *res) {
+	r.Close()
+	go r.Close()
+	v, ok, _ := r.Next()
+	_, _ = v, ok
+}
+
+// clean has nothing to suppress, so its directive is stale — but only
+// directives naming analyzers in the run set are reported, so the
+// walorder one below stays quiet when only errlost runs.
+func clean(r *res) error {
+	//lint:ignore errlost nothing on the next line drops an error // want `stale suppression`
+	err := r.Close()
+	//lint:ignore walorder not in the run set, so never reported as stale
+	return err
+}

@@ -239,7 +239,7 @@ func IsTimeout(err error) bool {
 
 // jitterPool hands each connection a lockable jitter source.
 type jitterSrc struct {
-	mu  sync.Mutex
+	mu  sync.Mutex //tango:lock-order jitter latch
 	rng *rand.Rand
 }
 

@@ -24,6 +24,13 @@ import (
 // set of tables. Catalog operations are goroutine-safe; concurrent
 // writes to the same table must be externally serialized (the
 // middleware issues one statement at a time per connection).
+//
+// The catalog lock sits at the top of the storage hierarchy: DDL holds
+// it across page allocation (the pool latch) and the durability fsync
+// (the store lock), so it is ordered, not a latch.
+//
+//tango:lock-order catalog < bufferpool < store
+
 type DB struct {
 	disk storage.Store
 	fd   *storage.FileDisk // non-nil when the store is durable (OpenAt)
@@ -31,7 +38,7 @@ type DB struct {
 
 	metrics atomic.Pointer[telemetry.Registry]
 
-	mu     sync.RWMutex
+	mu     sync.RWMutex      //tango:lock-order catalog
 	tables map[string]*Table // keyed by upper-case name
 }
 

@@ -110,32 +110,11 @@ func (db *DB) execInsert(s *sqlast.Insert) (int64, error) {
 		return db.Insert(s.Table, row)
 	}
 
-	var n int64
 	if s.Select != nil {
-		it, err := db.planSelect(s.Select)
-		if err != nil {
-			return 0, err
-		}
-		if err := it.Open(); err != nil {
-			return 0, err
-		}
-		defer it.Close()
-		for {
-			row, ok, err := it.Next()
-			if err != nil {
-				return n, err
-			}
-			if !ok {
-				break
-			}
-			if err := insertRow(row); err != nil {
-				return n, err
-			}
-			n++
-		}
-		return n, it.Close()
+		return db.insertFromSelect(s.Select, insertRow)
 	}
 
+	var n int64
 	for _, rowExprs := range s.Values {
 		vals := make(types.Tuple, len(rowExprs))
 		for i, e := range rowExprs {
@@ -155,6 +134,38 @@ func (db *DB) execInsert(s *sqlast.Insert) (int64, error) {
 		n++
 	}
 	return n, nil
+}
+
+// insertFromSelect drives insertRow from a SELECT plan. The iterator's
+// Close error is captured into the named return rather than deferred
+// away: an insert is a durability path, and Close is where a torn scan
+// would surface.
+func (db *DB) insertFromSelect(sel *sqlast.SelectStmt, insertRow func(types.Tuple) error) (n int64, err error) {
+	it, err := db.planSelect(sel)
+	if err != nil {
+		return 0, err
+	}
+	if err := it.Open(); err != nil {
+		return 0, err
+	}
+	defer func() {
+		if cerr := it.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	for {
+		row, ok, nerr := it.Next()
+		if nerr != nil {
+			return n, nerr
+		}
+		if !ok {
+			return n, nil
+		}
+		if err := insertRow(row); err != nil {
+			return n, err
+		}
+		n++
+	}
 }
 
 // coerce converts a value to the column kind where a lossless

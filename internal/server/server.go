@@ -41,7 +41,7 @@ type Server struct {
 	// badHeaders counts requests whose trace header failed to decode.
 	badHeaders int64
 
-	mu       sync.Mutex
+	mu       sync.Mutex          //tango:lock-order server latch
 	loadSeqs map[string]loadMark // per-table last applied load sequence
 	sessions map[*Session]bool
 
@@ -187,7 +187,9 @@ type Cursor struct {
 	it       rel.Iterator
 	prefetch int
 
-	mu     sync.Mutex
+	// The cursor lock is held across iterator pulls (engine I/O): an
+	// ordered class, not a latch.
+	mu     sync.Mutex //tango:lock-order cursor
 	done   bool
 	closed bool
 	seq    int64         // sequence number of the batch held in rows

@@ -14,11 +14,20 @@ import (
 // pinned page is never evicted. The pool is goroutine-safe at the
 // fetch/unpin level; a fetched *Page must be used by one goroutine at
 // a time.
+//
+// The frame-table mutex is a latch: it covers map/LRU bookkeeping
+// only, never disk I/O. A miss reserves a loading placeholder under
+// the latch and reads with the latch released (concurrent fetchers of
+// the same page wait on ioDone instead of issuing duplicate reads);
+// eviction and FlushAll fence the victim frame and write its page
+// image back with the latch released. The pool may transiently hold
+// capacity+k frames while k loads are in flight.
 type BufferPool struct {
 	disk     Store
 	capacity int
 
-	mu     sync.Mutex
+	mu     sync.Mutex //tango:lock-order bufferpool latch
+	ioDone *sync.Cond // signaled when a loading or evicting frame settles
 	frames map[PageID]*frame
 	lru    *list.List // of *frame, most-recent at front
 
@@ -32,6 +41,13 @@ type frame struct {
 	page Page
 	pins int
 	elem *list.Element
+	// loading marks a frame whose page image is being read from disk;
+	// evicting marks one whose image is being written back. Either
+	// state keeps the frame out of eviction, and loading additionally
+	// makes fetchers wait. Both are guarded by BufferPool.mu; the I/O
+	// itself runs with the latch released.
+	loading  bool
+	evicting bool
 }
 
 // NewBufferPool creates a pool of the given capacity (in pages) over
@@ -40,34 +56,62 @@ func NewBufferPool(disk Store, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
+	bp := &BufferPool{
 		disk:     disk,
 		capacity: capacity,
 		frames:   map[PageID]*frame{},
 		lru:      list.New(),
 	}
+	bp.ioDone = sync.NewCond(&bp.mu)
+	return bp
 }
 
 // Fetch pins and returns the page; it is read from disk on a miss.
 func (bp *BufferPool) Fetch(pid PageID) (*Page, error) {
 	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if f, ok := bp.frames[pid]; ok {
+	for {
+		f, ok := bp.frames[pid]
+		if !ok {
+			break
+		}
+		if f.loading {
+			// Another fetcher is reading this page; wait for its read
+			// to settle instead of issuing a duplicate.
+			bp.ioDone.Wait()
+			continue
+		}
 		f.pins++
 		bp.lru.MoveToFront(f.elem)
+		bp.mu.Unlock()
 		bp.hits.Add(1)
 		return &f.page, nil
 	}
+	// Miss: reserve a loading placeholder first so concurrent fetchers
+	// of this page wait on it, make room, then read with the latch
+	// released.
 	bp.misses.Add(1)
-	f, err := bp.allocFrame(pid)
-	if err != nil {
+	f := bp.insertFrame(pid)
+	f.loading = true
+	if err := bp.evictToCapacity(); err != nil {
+		bp.freeFrame(f)
+		bp.ioDone.Broadcast()
+		bp.mu.Unlock()
 		return nil, err
 	}
-	if err := bp.disk.ReadPage(pid, &f.page); err != nil {
+	bp.mu.Unlock()
+
+	readErr := bp.disk.ReadPage(pid, &f.page)
+
+	bp.mu.Lock()
+	f.loading = false
+	bp.ioDone.Broadcast()
+	if readErr != nil {
 		bp.freeFrame(f)
-		return nil, err
+		bp.mu.Unlock()
+		return nil, readErr
 	}
 	f.pins = 1
+	bp.mu.Unlock()
 	return &f.page, nil
 }
 
@@ -80,26 +124,25 @@ func (bp *BufferPool) NewPage(file FileID) (PageID, *Page, error) {
 	pid := PageID{File: file, No: no}
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	f, err := bp.allocFrame(pid)
-	if err != nil {
+	f := bp.insertFrame(pid)
+	f.pins = 1 // pin immediately so eviction cannot pick the new frame
+	if err := bp.evictToCapacity(); err != nil {
+		bp.freeFrame(f)
+		bp.ioDone.Broadcast()
 		return PageID{}, nil, err
 	}
 	f.page.Reset()
-	f.pins = 1
 	return pid, &f.page, nil
 }
 
-// allocFrame finds or evicts a frame for pid; caller holds mu.
-func (bp *BufferPool) allocFrame(pid PageID) (*frame, error) {
-	if len(bp.frames) >= bp.capacity {
-		if err := bp.evict(); err != nil {
-			return nil, err
-		}
-	}
+// insertFrame adds a frame for pid at the front of the LRU; caller
+// holds mu. The pool may transiently exceed capacity until
+// evictToCapacity runs.
+func (bp *BufferPool) insertFrame(pid PageID) *frame {
 	f := &frame{pid: pid}
 	f.elem = bp.lru.PushFront(f)
 	bp.frames[pid] = f
-	return f, nil
+	return f
 }
 
 func (bp *BufferPool) freeFrame(f *frame) {
@@ -107,24 +150,68 @@ func (bp *BufferPool) freeFrame(f *frame) {
 	delete(bp.frames, f.pid)
 }
 
-// evict removes the least recently used unpinned frame, writing it
-// back if dirty; caller holds mu.
-func (bp *BufferPool) evict() error {
+// evictToCapacity evicts unpinned frames until the pool fits; caller
+// holds mu, which may be released and reacquired while dirty victims
+// are written back.
+func (bp *BufferPool) evictToCapacity() error {
+	for len(bp.frames) > bp.capacity {
+		if err := bp.evictOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictOne removes the least recently used unpinned frame; caller
+// holds mu. A dirty victim is fenced with evicting and written back
+// with the latch released; a failed write-back keeps the frame dirty
+// and resident — the same no-data-loss contract as the old
+// latch-holding protocol, without the I/O under the latch.
+func (bp *BufferPool) evictOne() error {
+	var victim *frame
 	for e := bp.lru.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*frame)
-		if f.pins > 0 {
+		if f.pins > 0 || f.loading || f.evicting {
 			continue
 		}
-		if f.page.dirty {
-			if err := bp.disk.WritePage(f.pid, &f.page); err != nil {
-				return err
-			}
-		}
-		bp.freeFrame(f)
+		victim = f
+		break
+	}
+	if victim == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (all %d pages pinned)", bp.capacity)
+	}
+	if !victim.page.dirty {
+		bp.freeFrame(victim)
 		bp.evictions.Add(1)
 		return nil
 	}
-	return fmt.Errorf("storage: buffer pool exhausted (all %d pages pinned)", bp.capacity)
+
+	victim.evicting = true
+	img := victim.page
+	// Clear the bit with the image copy in the same latch hold: any
+	// mutation during the write re-marks the page dirty rather than
+	// being clobbered afterwards.
+	victim.page.dirty = false
+	pid := victim.pid
+	bp.mu.Unlock()
+	err := bp.disk.WritePage(pid, &img)
+	bp.mu.Lock()
+	victim.evicting = false
+	bp.ioDone.Broadcast()
+	if bp.frames[pid] != victim {
+		// Invalidated (file dropped) while the image was in flight: the
+		// frame is gone and its data intentionally discarded.
+		return nil
+	}
+	if err != nil {
+		victim.page.dirty = true
+		return err
+	}
+	if victim.pins == 0 && !victim.page.dirty {
+		bp.freeFrame(victim)
+		bp.evictions.Add(1)
+	}
+	return nil
 }
 
 // Unpin releases one pin on the page.
@@ -145,7 +232,6 @@ func (bp *BufferPool) Unpin(pid PageID) {
 // "clean".
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	dirty := make([]*frame, 0, len(bp.frames))
 	for _, f := range bp.frames {
 		if f.page.dirty {
@@ -160,12 +246,27 @@ func (bp *BufferPool) FlushAll() error {
 	})
 	var errs []error
 	for _, f := range dirty {
-		if err := bp.disk.WritePage(f.pid, &f.page); err != nil {
-			errs = append(errs, fmt.Errorf("flush %v: %w", f.pid, err))
-			continue
+		if !f.page.dirty {
+			continue // already written back by a concurrent eviction
 		}
+		// Copy the image and clear the dirty bit in one latch hold, pin
+		// the frame so eviction leaves it alone, and write with the
+		// latch released. A mutation during the write re-marks the page
+		// dirty; a failed write restores the bit.
+		f.pins++
+		img := f.page
 		f.page.dirty = false
+		pid := f.pid
+		bp.mu.Unlock()
+		err := bp.disk.WritePage(pid, &img)
+		bp.mu.Lock()
+		f.pins--
+		if err != nil {
+			f.page.dirty = true
+			errs = append(errs, fmt.Errorf("flush %v: %w", pid, err))
+		}
 	}
+	bp.mu.Unlock()
 	return errors.Join(errs...)
 }
 

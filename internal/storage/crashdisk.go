@@ -107,7 +107,7 @@ type CrashPoint struct {
 // workload has before sweeping them. The zero value is not usable;
 // call NewCrashScript. Safe for concurrent use.
 type CrashScript struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //tango:lock-order crashscript latch
 	points  []CrashPoint
 	counts  [numTargets]int64
 	tripped bool

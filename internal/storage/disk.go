@@ -12,7 +12,7 @@ import (
 // counters are atomic so concurrent queries can snapshot them without
 // taking the disk lock.
 type Disk struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //tango:lock-order memstore latch
 	files  map[FileID][][]byte
 	nextID FileID
 

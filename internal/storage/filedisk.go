@@ -99,7 +99,12 @@ func dataPath(dir string, id FileID) string {
 
 // FileDisk is the durable Store. The embedded Disk holds the runtime
 // page state (and the I/O counters); fmu serializes the durable
-// bookkeeping and is always taken before the Disk mutex.
+// bookkeeping and is always taken before the Disk mutex — the ordered
+// pair below. fmu is deliberately NOT a latch: serializing WAL
+// appends and fsyncs is its whole job.
+//
+//tango:lock-order store < memstore
+
 type FileDisk struct {
 	Disk
 	dir string
@@ -109,7 +114,7 @@ type FileDisk struct {
 	// negative value disables automatic checkpoints.
 	CheckpointBytes int64
 
-	fmu       sync.Mutex
+	fmu       sync.Mutex //tango:lock-order store
 	wal       *wal
 	metaKV    map[string]string
 	dirty     map[PageID]struct{} // pages dirtied since last checkpoint

@@ -60,7 +60,7 @@ type Middleware struct {
 	// every query — the ring-buffer flight recorder a post-mortem reads.
 	Flight *telemetry.Flight
 
-	mu        sync.Mutex
+	mu        sync.Mutex //tango:lock-order middleware latch
 	lastTrace *telemetry.Span
 	lastStats *telemetry.OpStats
 }

@@ -19,11 +19,18 @@ import (
 // span can link to the queries that were in flight when the engine
 // died.
 type Flight struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //tango:lock-order flight latch
 	cap     int
 	entries []FlightEntry // ring, oldest first once full
 	file    *os.File
 	path    string
+
+	// logMu serializes appends to the durable file so JSONL lines never
+	// interleave; it is taken with the ring latch released, so a slow
+	// disk stalls only other writers, never ring readers.
+	//
+	//tango:lock-order flight < flightlog
+	logMu sync.Mutex //tango:lock-order flightlog
 }
 
 // FlightFile is the JSONL file name inside a flight directory.
@@ -73,7 +80,11 @@ func (f *Flight) SetDir(dir string) error {
 	f.path = path
 	f.mu.Unlock()
 	if old != nil {
+		// Close under the log lock so an append in flight on the old
+		// file finishes before the handle goes away.
+		f.logMu.Lock()
 		_ = old.Close()
+		f.logMu.Unlock()
 	}
 	return nil
 }
@@ -118,16 +129,26 @@ func (f *Flight) Record(root *Span, query string, qerr error) {
 		f.entries = append(f.entries, e)
 	}
 	file := f.file
-	if file != nil {
-		if b, err := json.Marshal(e); err == nil {
-			b = append(b, '\n')
-			_, _ = file.Write(b)
-			if qerr != nil {
-				_ = file.Sync()
-			}
-		}
-	}
 	f.mu.Unlock()
+	if file == nil {
+		return
+	}
+	// The durable append runs outside the ring latch: only the log
+	// lock is held across the write (and the failure-path sync).
+	// Concurrent records may land in the file in a different order
+	// than the ring — entries carry their own start timestamps, so a
+	// post-mortem reader is unaffected.
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	f.logMu.Lock()
+	_, _ = file.Write(b)
+	if qerr != nil {
+		_ = file.Sync()
+	}
+	f.logMu.Unlock()
 }
 
 // Entries returns a copy of the ring, oldest first.
@@ -206,6 +227,8 @@ func (f *Flight) Close() error {
 	if file == nil {
 		return nil
 	}
+	f.logMu.Lock()
+	defer f.logMu.Unlock()
 	if err := file.Sync(); err != nil {
 		_ = file.Close()
 		return err

@@ -136,7 +136,7 @@ type series struct {
 // The zero value is not usable; use NewRegistry. A nil *Registry is a
 // no-op sink.
 type Registry struct {
-	mu     sync.RWMutex
+	mu     sync.RWMutex //tango:lock-order metrics latch
 	series map[string]*series
 }
 
@@ -287,7 +287,7 @@ type Histogram struct {
 	// exemplars pin one representative observation per bucket (e.g.
 	// the trace that produced the worst Q-error landing there), so a
 	// reader of the histogram can jump straight to a concrete trace.
-	exMu      sync.Mutex
+	exMu      sync.Mutex  //tango:lock-order exemplar latch
 	exemplars []*Exemplar // lazily allocated, len(buckets) when present
 }
 

@@ -22,7 +22,7 @@ type Span struct {
 	spanID   uint64
 	parentID uint64
 
-	mu       sync.Mutex
+	mu       sync.Mutex //tango:lock-order span latch
 	start    time.Time
 	elapsed  time.Duration
 	done     bool

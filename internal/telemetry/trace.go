@@ -50,7 +50,7 @@ func NewRemoteSpan(name string, parent SpanContext) *Span {
 // single trace holds at most maxSpansPerTrace spans — abandoned traces
 // (client gave up, crashed mid-query) cannot grow it without limit.
 type Collector struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //tango:lock-order collector latch
 	byTrace map[uint64][]*Span
 	order   []uint64 // trace insertion order, for eviction
 	dropped int64

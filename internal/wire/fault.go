@@ -177,7 +177,7 @@ type FaultInjector struct {
 	// export). Called under the injector lock; keep it cheap.
 	OnFault func(Op, FaultKind)
 
-	mu       sync.Mutex
+	mu       sync.Mutex //tango:lock-order fault latch
 	rng      *rand.Rand
 	traps    []Trap
 	probs    []ProbRule

@@ -79,7 +79,9 @@ type runGen struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
 
-	mu       sync.Mutex
+	// Held across run-file removal on abort paths: ordered, not a
+	// latch.
+	mu       sync.Mutex //tango:lock-order spill
 	files    map[int]*os.File
 	firstErr error
 	spilled  int64 // bytes written to run files

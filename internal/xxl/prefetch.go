@@ -30,7 +30,9 @@ type Prefetch struct {
 	// stream completes or closes.
 	OnStats func(ParallelStats)
 
-	mu     sync.Mutex // guards open/close transitions
+	// Held across the wrapped iterator's Open/Close and the worker
+	// join: an ordered lifecycle lock, not a latch.
+	mu     sync.Mutex //tango:lock-order prefetch
 	opened bool
 
 	ch   chan prefBatch
