@@ -8,7 +8,7 @@ FUZZTIME ?= 10s
 .PHONY: all build vet lint lint-fix lint-report test race fuzz chaos crash bench-smoke bench-json ci clean
 
 # Benchmark report written by bench-json.
-BENCHOUT ?= BENCH_6.json
+BENCHOUT ?= BENCH_9.json
 
 all: ci
 
@@ -57,8 +57,9 @@ fuzz:
 	$(GO) test ./internal/storage/ -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME)
 
 # chaos runs the seeded fault-injection sweep (every seed query under
-# drop/stall/partial schedules at both parallelism widths) and the
-# wire-death regression tests under the race detector. -short trims
+# drop/stall/partial schedules at both parallelism widths, plus the
+# 8-session concurrent sweep sharing one server) and the wire-death
+# regression tests under the race detector. -short trims
 # the schedule grid so ci stays fast; run `go test ./internal/bench/
 # -run Chaos` for the full sweep.
 chaos:
@@ -67,9 +68,10 @@ chaos:
 
 # crash runs the deterministic crash matrix under the race detector:
 # every scripted WAL/page death point in the standard workload is
-# swept (strided in -short), the directory is reopened, and the
-# recovered state must equal a committed pre- or post-load state —
-# never a torn one. Run `go test ./internal/bench/ -run TestCrash`
+# swept (strided in -short), plus the concurrent variant — a store
+# death mid-T^D-load under 16 live reader sessions — and after each
+# the directory is reopened and the recovered state must equal a
+# committed pre- or post-load state — never a torn one. Run `go test ./internal/bench/ -run TestCrash`
 # for the unstrided sweep.
 crash:
 	$(GO) test ./internal/bench/ -run 'TestCrash|TestSplitSchedule' -race -short
@@ -78,9 +80,9 @@ crash:
 # GOMAXPROCS widths, so ci catches benchmarks that no longer compile
 # or crash without paying for real measurement. The Query1 pattern
 # also matches Query1Tracing, so ci smokes the tracing-overhead pair
-# on every run.
+# on every run; GroupCommit smokes the concurrent commit path.
 bench-smoke:
-	$(GO) test ./internal/bench/ -run '^$$' -bench 'Query1|SortM' -benchtime 1x -cpu 1,2
+	$(GO) test ./internal/bench/ -run '^$$' -bench 'Query1|SortM|GroupCommit' -benchtime 1x -cpu 1,2
 	$(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime 1x
 
 # bench-json measures the sequential-vs-parallel query benchmarks
@@ -91,8 +93,12 @@ bench-smoke:
 # overhead ratio (Query1Tracing vs Query1; bar <= 5%) — in
 # $(BENCHOUT). 15 iterations per benchmark keeps the overhead ratio
 # above measurement noise on small machines.
+# GroupCommit runs 200 commits per session count so the
+# fsyncs/commit metric is measured under real contention: the
+# archived number must fall below 1 at 8 and 64 sessions.
 bench-json:
 	{ $(GO) test ./internal/bench/ -run '^$$' -bench 'Query1|SortM' -benchtime 15x -cpu 1,4; \
+	  $(GO) test ./internal/bench/ -run '^$$' -bench 'GroupCommit' -benchtime 200x; \
 	  $(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime 2000x; } | $(GO) run ./cmd/benchjson > $(BENCHOUT)
 
 # ci is the full verification gate: compile everything, vet, run the

@@ -18,12 +18,14 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"tango/internal/bench"
 	"tango/internal/client"
 	"tango/internal/rel"
 	"tango/internal/storage"
+	"tango/internal/tango"
 	"tango/internal/telemetry"
 	"tango/internal/tsql"
 	"tango/internal/wire"
@@ -34,6 +36,7 @@ func main() {
 	empRows := flag.Int("employee", 5000, "EMPLOYEE rows to generate (0 = paper full size)")
 	calibrate := flag.Int("calibrate", 0, "calibration sample rows (0 = default cost factors)")
 	command := flag.String("c", "", "run one statement and exit (scriptable mode)")
+	sessions := flag.Int("sessions", 1, "with -c: run the statement concurrently on this many independent sessions and report group-commit amortization (commits, fsyncs, fsyncs/commit, wall time)")
 	metricsAddr := flag.String("metrics", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. "127.0.0.1:9090")`)
 	checkPlans := flag.Bool("checkplans", true, "validate every optimized plan and executor build with the planck plan checker")
 	parallelism := flag.Int("parallelism", 0, "middleware operator fan-out: 0 = GOMAXPROCS, 1 = sequential algorithms")
@@ -183,8 +186,19 @@ func main() {
 			fmt.Printf("metrics on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof, /healthz)\n", addr)
 		}
 	}
+	if *sessions > 1 && *command == "" {
+		fmt.Fprintln(os.Stderr, "-sessions > 1 requires -c (the concurrent mode runs one statement per session)")
+		os.Exit(1)
+	}
 	if *command != "" {
-		if err := dispatch(sys, strings.TrimSpace(*command)); err != nil {
+		stmt := strings.TrimSpace(*command)
+		var err error
+		if *sessions > 1 {
+			err = runConcurrent(sys, stmt, *sessions)
+		} else {
+			err = dispatch(sys, stmt)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -362,6 +376,78 @@ func dispatch(sys *bench.System, line string) error {
 		fmt.Printf("ok (%d rows)\n", n)
 		return nil
 	}
+}
+
+// runConcurrent executes one statement simultaneously on n
+// independent sessions sharing the embedded server, then reports how
+// the engine amortized the commits: total commits, WAL fsyncs, and
+// fsyncs per commit (group commit drives the ratio below 1 under
+// contention on a durable store).
+func runConcurrent(sys *bench.System, stmt string, n int) error {
+	upper := strings.ToUpper(stmt)
+	isValidtime := strings.HasPrefix(upper, "VALIDTIME")
+	isSelect := strings.HasPrefix(upper, "SELECT")
+	mws := make([]*tango.Middleware, n)
+	for i := range mws {
+		mws[i] = sys.NewSessionMW()
+		defer mws[i].Conn.Close()
+	}
+	commits0, _ := sys.DB.CommitStats()
+	var fsyncs0 int64
+	if sys.DB.Durable() {
+		_, _, fsyncs0 = sys.DB.FileDisk().GroupCommitStats()
+	}
+	start := time.Now()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, mw := range mws {
+		wg.Add(1)
+		go func(i int, mw *tango.Middleware) {
+			defer wg.Done()
+			switch {
+			case isValidtime:
+				plan, err := tsql.Parse(stmt, mw.Cat)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				out, _, err := mw.Run(plan)
+				if err == nil && i == 0 {
+					fmt.Printf("session 0: %d rows\n", out.Cardinality())
+				}
+				errs[i] = err
+			case isSelect:
+				out, _, err := mw.Conn.QueryAll(stmt)
+				if err == nil && i == 0 {
+					fmt.Printf("session 0: %d rows\n", out.Cardinality())
+				}
+				errs[i] = err
+			default:
+				_, errs[i] = mw.Conn.Exec(stmt)
+			}
+		}(i, mw)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("session %d: %w", i, err)
+		}
+	}
+	commits1, wait := sys.DB.CommitStats()
+	commits := commits1 - commits0
+	fmt.Printf("%d sessions, %d commit(s) in %.3fs", n, commits, wall.Seconds())
+	if sys.DB.Durable() {
+		_, _, fsyncs1 := sys.DB.FileDisk().GroupCommitStats()
+		fsyncs := fsyncs1 - fsyncs0
+		ratio := 0.0
+		if commits > 0 {
+			ratio = float64(fsyncs) / float64(commits)
+		}
+		fmt.Printf(", %d fsync(s) = %.2f fsyncs/commit, commit wait %.3fs total", fsyncs, ratio, wait.Seconds())
+	}
+	fmt.Println()
+	return nil
 }
 
 // tracedPassthrough wraps a DBMS passthrough statement in a root query

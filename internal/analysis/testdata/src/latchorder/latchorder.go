@@ -118,3 +118,63 @@ func (p *Pool) okHandOverHand() {
 	defer p.mu.Unlock()
 	p.dropAndRelock()
 }
+
+// --- Commit-path classes of the versioned store ---
+//
+// The group-commit admission latch may only be taken under the WAL
+// sync lock, and the snapshot pin registry is a leaf under catalog.
+
+//tango:lock-order walsync < groupcommit
+//tango:lock-order catalog < snapreg
+
+// WAL serializes durability barriers; held across fsync by design.
+type WAL struct {
+	mu sync.Mutex //tango:lock-order walsync
+}
+
+// Batch is the group-commit admission latch.
+type Batch struct {
+	mu sync.Mutex //tango:lock-order groupcommit latch
+}
+
+// Reg is the snapshot pin registry.
+type Reg struct {
+	mu sync.Mutex //tango:lock-order snapreg latch
+}
+
+// okCommitPath nests the commit path in declared order: the leader
+// takes the sync lock, then closes the batch under the admission
+// latch.
+func okCommitPath(w *WAL, b *Batch) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// badCommitInversion takes the sync lock under the admission latch —
+// a follower would deadlock against the leader.
+func badCommitInversion(w *WAL, b *Batch) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w.mu.Lock() // want `acquires lock class "walsync" while holding "groupcommit"`
+	w.mu.Unlock()
+}
+
+// badCatalogUnderSnapReg pins a version while holding the registry
+// leaf: catalog < snapreg, so the writer lock must come first.
+func badCatalogUnderSnapReg(db *DB, r *Reg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	db.cmu.Lock() // want `acquires lock class "catalog" while holding "snapreg"`
+	db.cmu.Unlock()
+}
+
+// okPinUnderCatalog is the deferred-drop protocol: the dropper holds
+// the catalog writer lock and registers the drop in the registry.
+func okPinUnderCatalog(db *DB, r *Reg) {
+	db.cmu.Lock()
+	defer db.cmu.Unlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}

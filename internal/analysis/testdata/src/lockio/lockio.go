@@ -150,3 +150,68 @@ func (p *Pool) badNotHandOverHand(s *Store) {
 	defer p.mu.Unlock()
 	p.writeLatched(s) // want `calls into blocking store-io.*writeLatched`
 }
+
+// --- Commit-path and snapshot-registry classes ---
+
+// WAL is the wal-sync lock: ordered, NOT a latch — holding it across
+// the batch fsync is the group commit's whole point, so lockio must
+// stay silent about the barrier under it.
+type WAL struct {
+	mu sync.Mutex //tango:lock-order walsync
+	f  *os.File
+}
+
+// okFsyncUnderWALLock: a durability barrier under an ordered (non-
+// latch) lock is the designed group-commit shape.
+func (w *WAL) okFsyncUnderWALLock() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.f.Sync()
+}
+
+// Batch is the group-commit admission latch: map/pointer bookkeeping
+// only; followers must never wait on the leader's barrier inside it.
+type Batch struct {
+	mu   sync.Mutex //tango:lock-order groupcommit latch
+	done chan struct{}
+}
+
+// badWaitUnderAdmissionLatch parks a follower on the leader's barrier
+// while still holding the admission latch — no later committer could
+// join a batch until the fsync finishes.
+func (b *Batch) badWaitUnderAdmissionLatch() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-b.done // want `performs blocking channel receive`
+}
+
+// okFollower snapshots the batch under the latch and waits outside.
+func (b *Batch) okFollower() {
+	b.mu.Lock()
+	done := b.done
+	b.mu.Unlock()
+	<-done
+}
+
+// Reg is the snapshot pin registry leaf latch.
+type Reg struct {
+	mu   sync.Mutex //tango:lock-order snapreg latch
+	pins map[int]int
+}
+
+// badDropUnderPinLatch executes a deferred heap drop (store I/O)
+// while holding the registry latch.
+func (r *Reg) badDropUnderPinLatch(s *Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.WritePage(0, nil) // want `performs blocking store-io`
+}
+
+// okCollectThenDrop collects the ready drops under the latch and
+// executes them with it released — the unpin protocol.
+func (r *Reg) okCollectThenDrop(s *Store) {
+	r.mu.Lock()
+	delete(r.pins, 1)
+	r.mu.Unlock()
+	s.WritePage(0, nil)
+}

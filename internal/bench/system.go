@@ -59,6 +59,10 @@ type System struct {
 	// GCCollected is the number of orphaned transfer temp tables the
 	// startup session GC dropped (durable systems only).
 	GCCollected int
+
+	// opts are the middleware options the system was built with, so
+	// NewSessionMW can open additional sessions configured identically.
+	opts tango.Options
 }
 
 // Config sizes and tunes a System.
@@ -142,7 +146,7 @@ func NewSystem(cfg Config) (*System, error) {
 		db = engine.Open(engine.Config{})
 	}
 	srv := server.New(db, cfg.Latency)
-	mw := tango.Open(srv, tango.Options{
+	opts := tango.Options{
 		HistogramBuckets: cfg.Histograms,
 		Naive:            cfg.Naive,
 		Metrics:          cfg.Metrics,
@@ -151,7 +155,8 @@ func NewSystem(cfg Config) (*System, error) {
 		// Every harness-driven run (and therefore every test) validates
 		// optimized plans and executor builds with planck.
 		CheckPlans: true,
-	})
+	}
+	mw := tango.Open(srv, opts)
 	if cfg.Metrics != nil {
 		srv.RegisterMetrics(cfg.Metrics)
 		mw.IOProbe = func() (storage.IOStats, storage.PoolStats) {
@@ -257,7 +262,17 @@ func NewSystem(cfg Config) (*System, error) {
 		Parallelism:  cfg.Parallelism,
 		PositionRows: posRows, EmployeeRows: empRows,
 		Flight: flight, Collector: collector, PreCrashFlight: preCrash,
-		Recovery: rstats, Reopened: reopened, GCCollected: gcCollected}, nil
+		Recovery: rstats, Reopened: reopened, GCCollected: gcCollected,
+		opts: opts}, nil
+}
+
+// NewSessionMW opens an additional middleware instance with its own
+// server session on the same DBMS, configured identically to the
+// system's primary one. Concurrency tests use it to model independent
+// clients sharing one server (and therefore one buffer pool, WAL, and
+// catalog). The caller closes the returned middleware's connection.
+func (s *System) NewSessionMW() *tango.Middleware {
+	return tango.Open(s.Srv, s.opts)
 }
 
 // Close ends the middleware session (collecting its temp tables),

@@ -8,6 +8,7 @@ package btree
 
 import (
 	"sort"
+	"sync"
 
 	"tango/internal/storage"
 	"tango/internal/types"
@@ -31,7 +32,18 @@ type node struct {
 }
 
 // Tree is a B+-tree. The zero value is not usable; call New.
+//
+// The tree is goroutine-safe: a single structural writer (Insert,
+// serialized by the engine's catalog lock) excludes readers via an
+// internal latch; lookups and range scans take it shared. Every
+// operation under the latch is memory-only — scan callbacks run while
+// it is held, so they must not block. Index latches sit below frame
+// latches in the hierarchy (an index build scans heap pages and
+// inserts from the scan).
+//
+//tango:lock-order frame < index
 type Tree struct {
+	mu   sync.RWMutex //tango:lock-order index latch
 	root *node
 	size int
 }
@@ -42,10 +54,16 @@ func New() *Tree {
 }
 
 // Len returns the number of entries.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
 
 // Insert adds an entry; duplicate keys are allowed.
 func (t *Tree) Insert(key types.Value, rid storage.RecordID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.size++
 	mid, right := t.root.insert(key, rid)
 	if right != nil {
@@ -135,8 +153,16 @@ func (t *Tree) Lookup(key types.Value) []storage.RecordID {
 
 // AscendRange visits entries with lo <= key <= hi (hi inclusive when
 // hiIncl) in key order. fn returning false stops the scan. A NULL lo
-// starts at the smallest key; a NULL hi scans to the end.
+// starts at the smallest key; a NULL hi scans to the end. fn runs
+// under the tree's shared latch: it may read freely but must not
+// block or re-enter the tree.
 func (t *Tree) AscendRange(lo, hi types.Value, hiIncl bool, fn func(Entry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.ascendRangeLocked(lo, hi, hiIncl, fn)
+}
+
+func (t *Tree) ascendRangeLocked(lo, hi types.Value, hiIncl bool, fn func(Entry) bool) {
 	var n *node
 	var i int
 	if lo.IsNull() {

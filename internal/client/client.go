@@ -172,6 +172,9 @@ func (c *Conn) Exec(sql string) (int64, error) {
 		sp.Set("error_class", errClass(err))
 	}
 	sp.Finish()
+	if err == nil {
+		c.AddSessionStat("commits", 1)
+	}
 	return n, err
 }
 
@@ -189,6 +192,9 @@ func (c *Conn) Query(sql string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each open cursor pins one MVCC snapshot server-side; attribute it
+	// to the session so the harness leak checks can diff open vs closed.
+	c.AddSessionStat("snapshots", 1)
 	return &Rows{conn: c, cur: cur, schema: cur.Schema().Unqualified(), start: start, sql: sql}, nil
 }
 
@@ -653,6 +659,7 @@ func (c *Conn) Load(table string, rows []types.Tuple) (Feedback, error) {
 		Batches: 1,
 		Elapsed: time.Since(start),
 	}
+	c.AddSessionStat("commits", 1)
 	c.record("out", "load", fb)
 	return fb, nil
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tango/internal/btree"
 	"tango/internal/meta"
@@ -21,15 +22,22 @@ import (
 )
 
 // DB is one database instance: a simulated disk, a buffer pool, and a
-// set of tables. Catalog operations are goroutine-safe; concurrent
-// writes to the same table must be externally serialized (the
-// middleware issues one statement at a time per connection).
+// versioned catalog. The engine is multi-session safe under snapshot
+// isolation: readers pin an immutable catalogVersion (catalog plus
+// per-table visibility bounds — the data snapshot) and never take the
+// writer lock, so a T^D bulk load or checkpoint in progress cannot
+// block them. Writers serialize on wmu, mutate storage, then publish
+// a new version with a bumped commit sequence; durability (the WAL
+// group-commit fsync) is awaited after the publish, outside wmu, so
+// concurrent sessions' commits share fsyncs.
 //
 // The catalog lock sits at the top of the storage hierarchy: DDL holds
 // it across page allocation (the pool latch) and the durability fsync
 // (the store lock), so it is ordered, not a latch.
 //
 //tango:lock-order catalog < bufferpool < store
+//tango:lock-order catalog < walsync
+//tango:lock-order catalog < snapreg
 
 type DB struct {
 	disk storage.Store
@@ -38,17 +46,81 @@ type DB struct {
 
 	metrics atomic.Pointer[telemetry.Registry]
 
-	mu     sync.RWMutex      //tango:lock-order catalog
+	wmu sync.Mutex //tango:lock-order catalog
+	// cat is the published catalog version; readers Load it lock-free,
+	// the wmu holder replaces it copy-on-write.
+	cat  atomic.Pointer[catalogVersion]
+	pins pinRegistry
+
+	// commitHook, when set (SetCommitHook, tests only), observes every
+	// publish; it runs under wmu, so invocations are totally ordered by
+	// commit sequence.
+	commitHook func(seq uint64, table, op string)
+
+	commits      atomic.Int64 // publishes awaited to durability
+	commitWaitNS atomic.Int64 // cumulative time spent in awaitDurable
+}
+
+// catalogVersion is one immutable published state of the database:
+// the commit sequence (the "stats epoch" — it also advances on
+// ANALYZE) and the table set. Table values reached through a version
+// are themselves immutable; a writer clones any table it changes.
+type catalogVersion struct {
+	seq    uint64
 	tables map[string]*Table // keyed by upper-case name
 }
 
-// Table is a catalog entry.
+func (v *catalogVersion) table(name string) (*Table, error) {
+	t, ok := v.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %s", name)
+	}
+	return t, nil
+}
+
+// Table is a catalog entry. Instances published in a catalogVersion
+// are immutable — pages/tailSlots fix which heap prefix the version
+// sees, Stats is the version's statistics epoch — while Heap, the
+// Indexes map, and the trees it holds may be shared across versions
+// (index entries past the visibility bound are filtered per reader).
 type Table struct {
 	Name    string
 	Schema  types.Schema
 	Heap    *storage.HeapFile
 	Indexes map[string]*btree.Tree // keyed by upper-case column name
 	Stats   *meta.TableStats       // nil until ANALYZE
+
+	// Visibility bound: rows at rid with rid.Page < pages-1, or
+	// rid.Page == pages-1 and rid.Slot < tailSlots, belong to this
+	// version. The heap is append-only, so the pair identifies an
+	// exact prefix.
+	pages     int32
+	tailSlots int32
+}
+
+// clone returns a shallow copy sharing Heap and the Indexes map; the
+// writer adjusts what changed before publishing it.
+func (t *Table) clone() *Table {
+	nt := *t
+	return &nt
+}
+
+// visible reports whether the record lies inside the version's bound.
+func (t *Table) visible(rid storage.RecordID) bool {
+	if rid.Page < t.pages-1 {
+		return true
+	}
+	return rid.Page == t.pages-1 && rid.Slot < t.tailSlots
+}
+
+// cloneTables shallow-copies the version's table map for a writer
+// about to publish.
+func cloneTables(m map[string]*Table) map[string]*Table {
+	next := make(map[string]*Table, len(m)+1)
+	for k, t := range m {
+		next[k] = t
+	}
+	return next
 }
 
 // Config tunes a DB instance.
@@ -66,15 +138,24 @@ type Config struct {
 // default — volatile by design). Use OpenAt for a durable,
 // crash-recoverable instance.
 func Open(cfg Config) *DB {
+	return OpenWith(storage.NewDisk(), cfg)
+}
+
+// OpenWith creates an in-memory-style database over a caller-provided
+// store. Harnesses wrap stores to script fault and pause points — the
+// reader-not-blocked-by-load proof parks a bulk load inside an
+// AppendPage this way.
+func OpenWith(store storage.Store, cfg Config) *DB {
 	if cfg.BufferPoolPages <= 0 {
 		cfg.BufferPoolPages = 2048
 	}
-	disk := storage.NewDisk()
-	return &DB{
-		disk:   disk,
-		pool:   storage.NewBufferPool(disk, cfg.BufferPoolPages),
-		tables: map[string]*Table{},
+	db := &DB{
+		disk: store,
+		pool: storage.NewBufferPool(store, cfg.BufferPoolPages),
 	}
+	db.cat.Store(&catalogVersion{seq: 1, tables: map[string]*Table{}})
+	db.pins.init()
+	return db
 }
 
 // Disk exposes the underlying store for I/O accounting in experiments.
@@ -83,11 +164,31 @@ func (db *DB) Disk() storage.Store { return db.disk }
 // Pool exposes the buffer pool for hit-ratio accounting.
 func (db *DB) Pool() *storage.BufferPool { return db.pool }
 
+// CommitSeq returns the current published commit sequence.
+func (db *DB) CommitSeq() uint64 { return db.cat.Load().seq }
+
+// CommitStats reports how many publishes were awaited to durability
+// and the cumulative wall time spent waiting on the group-commit
+// barrier.
+func (db *DB) CommitStats() (commits int64, wait time.Duration) {
+	return db.commits.Load(), time.Duration(db.commitWaitNS.Load())
+}
+
+// SetCommitHook installs fn to observe every publish (seq, table, op)
+// under the writer lock — calls arrive in commit-sequence order.
+// Test-only: the property harness records the serial history here.
+func (db *DB) SetCommitHook(fn func(seq uint64, table, op string)) {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	db.commitHook = fn
+}
+
 // SetMetrics attaches a telemetry registry: every physical operator of
 // subsequent queries is instrumented (per-operator timing, row, and
 // Next-call series under engine="dbms"), and the storage counters are
 // exported as gauges (disk reads/writes, buffer-pool hits/misses/hit
-// ratio). A nil registry disables instrumentation.
+// ratio, commit sequence, open snapshots, commit waits, WAL fsyncs).
+// A nil registry disables instrumentation.
 func (db *DB) SetMetrics(reg *telemetry.Registry) {
 	db.metrics.Store(reg)
 	if reg == nil {
@@ -111,6 +212,28 @@ func (db *DB) SetMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("tango_bufferpool_hit_ratio", nil, func() float64 {
 		return db.pool.Snapshot().HitRatio()
 	})
+	reg.GaugeFunc("tango_commit_seq", nil, func() float64 {
+		return float64(db.CommitSeq())
+	})
+	reg.GaugeFunc("tango_snapshots_open", nil, func() float64 {
+		return float64(db.SnapshotsOpen())
+	})
+	reg.GaugeFunc("tango_commits_total", nil, func() float64 {
+		return float64(db.commits.Load())
+	})
+	reg.GaugeFunc("tango_commit_wait_seconds_total", nil, func() float64 {
+		return time.Duration(db.commitWaitNS.Load()).Seconds()
+	})
+	if db.fd != nil {
+		reg.GaugeFunc("tango_wal_fsyncs_total", nil, func() float64 {
+			_, _, fsyncs := db.fd.GroupCommitStats()
+			return float64(fsyncs)
+		})
+		reg.GaugeFunc("tango_group_commit_batches_total", nil, func() float64 {
+			_, batches, _ := db.fd.GroupCommitStats()
+			return float64(batches)
+		})
+	}
 }
 
 // Metrics returns the attached registry (nil when disabled).
@@ -118,12 +241,25 @@ func (db *DB) Metrics() *telemetry.Registry { return db.metrics.Load() }
 
 func key(name string) string { return strings.ToUpper(name) }
 
+// publishLocked installs the next catalog version. Caller holds wmu.
+// The hook runs before the version becomes loadable, so an observer
+// pinning seq S always finds the history complete through S.
+func (db *DB) publishLocked(tables map[string]*Table, table, op string) uint64 {
+	seq := db.cat.Load().seq + 1
+	if db.commitHook != nil {
+		db.commitHook(seq, table, op)
+	}
+	db.cat.Store(&catalogVersion{seq: seq, tables: tables})
+	return seq
+}
+
 // CreateTable adds a new empty table.
 func (db *DB) CreateTable(name string, schema types.Schema) (*Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	cur := db.cat.Load()
 	k := key(name)
-	if _, ok := db.tables[k]; ok {
+	if _, ok := cur.tables[k]; ok {
+		db.wmu.Unlock()
 		return nil, fmt.Errorf("engine: table %s already exists", name)
 	}
 	t := &Table{
@@ -132,72 +268,91 @@ func (db *DB) CreateTable(name string, schema types.Schema) (*Table, error) {
 		Heap:    storage.NewHeapFile(db.pool),
 		Indexes: map[string]*btree.Tree{},
 	}
-	db.tables[k] = t
-	if err := db.saveCatalogLocked(); err != nil {
+	next := cloneTables(cur.tables)
+	next[k] = t
+	if err := db.saveCatalog(next); err != nil {
+		db.wmu.Unlock()
 		return nil, err
 	}
-	if err := db.commitDurable(); err != nil {
+	if err := db.stageDurableLocked(); err != nil {
+		db.wmu.Unlock()
 		return nil, err
 	}
-	return t, nil
+	db.publishLocked(next, t.Name, "create")
+	db.wmu.Unlock()
+	return t, db.awaitDurable()
 }
 
 // DropTable removes a table. With ifExists, dropping a missing table
-// is not an error.
+// is not an error. The heap's pages are reclaimed only once no open
+// snapshot predates the drop; until then readers pinned before the
+// drop keep scanning it.
 func (db *DB) DropTable(name string, ifExists bool) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	cur := db.cat.Load()
 	k := key(name)
-	t, ok := db.tables[k]
+	t, ok := cur.tables[k]
 	if !ok {
+		db.wmu.Unlock()
 		if ifExists {
 			return nil
 		}
 		return fmt.Errorf("engine: no table %s", name)
 	}
-	t.Heap.Drop()
-	delete(db.tables, k)
-	if err := db.saveCatalogLocked(); err != nil {
+	next := cloneTables(cur.tables)
+	delete(next, k)
+	if err := db.saveCatalog(next); err != nil {
+		db.wmu.Unlock()
 		return err
 	}
-	return db.commitDurable()
-}
-
-// Table returns the catalog entry for name, or an error.
-func (db *DB) Table(name string) (*Table, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[key(name)]
-	if !ok {
-		return nil, fmt.Errorf("engine: no table %s", name)
+	if err := db.stageDurableLocked(); err != nil {
+		db.wmu.Unlock()
+		return err
 	}
-	return t, nil
+	seq := db.publishLocked(next, t.Name, "drop")
+	for _, h := range db.pins.deferDrop(seq, t.Heap) {
+		h.Drop()
+	}
+	db.wmu.Unlock()
+	return db.awaitDurable()
 }
 
-// TableNames lists tables in sorted order.
+// Table returns the catalog entry for name in the current published
+// version, or an error. Lock-free.
+func (db *DB) Table(name string) (*Table, error) {
+	return db.cat.Load().table(name)
+}
+
+// TableNames lists tables of the current published version in sorted
+// order. Lock-free.
 func (db *DB) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for _, t := range db.tables {
+	v := db.cat.Load()
+	names := make([]string, 0, len(v.tables))
+	for _, t := range v.tables {
 		names = append(names, t.Name)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// Insert adds one tuple to the table, maintaining indexes. The tuple
-// must match the table schema in arity; values are stored as given.
+// Insert adds one tuple to the table, maintaining indexes, and
+// publishes a version whose bound covers the new row. The tuple must
+// match the table schema in arity; values are stored as given.
 func (db *DB) Insert(name string, tuple types.Tuple) error {
-	t, err := db.Table(name)
-	if err != nil {
-		return err
+	db.wmu.Lock()
+	cur := db.cat.Load()
+	t, ok := cur.tables[key(name)]
+	if !ok {
+		db.wmu.Unlock()
+		return fmt.Errorf("engine: no table %s", name)
 	}
 	if len(tuple) != t.Schema.Len() {
+		db.wmu.Unlock()
 		return fmt.Errorf("engine: %s expects %d values, got %d", name, t.Schema.Len(), len(tuple))
 	}
 	rid, err := t.Heap.Insert(tuple)
 	if err != nil {
+		db.wmu.Unlock()
 		return err
 	}
 	for col, idx := range t.Indexes {
@@ -206,19 +361,38 @@ func (db *DB) Insert(name string, tuple types.Tuple) error {
 			idx.Insert(tuple[i], rid)
 		}
 	}
-	t.Stats = nil // statistics are stale until the next ANALYZE
-	return db.commitDurable()
+	nt := t.clone()
+	nt.Stats = nil // statistics are stale until the next ANALYZE
+	// Pages fill strictly in order, so the new row's rid is the
+	// table's high-water mark.
+	nt.pages, nt.tailSlots = rid.Page+1, rid.Slot+1
+	next := cloneTables(cur.tables)
+	next[key(name)] = nt
+	if err := db.stageDurableLocked(); err != nil {
+		db.wmu.Unlock()
+		return err
+	}
+	db.publishLocked(next, t.Name, "insert")
+	db.wmu.Unlock()
+	return db.awaitDurable()
 }
 
 // BulkLoad appends tuples through the direct-path loader (the paper's
-// SQL*Loader analogue). Indexes are rebuilt afterwards.
+// SQL*Loader analogue). Indexes are rebuilt afterwards into fresh
+// trees on a cloned table, so snapshot readers pinned before the load
+// keep their old index view; the loaded pages themselves lie past
+// every published bound until the final publish.
 func (db *DB) BulkLoad(name string, tuples []types.Tuple) error {
-	t, err := db.Table(name)
-	if err != nil {
-		return err
+	db.wmu.Lock()
+	cur := db.cat.Load()
+	t, ok := cur.tables[key(name)]
+	if !ok {
+		db.wmu.Unlock()
+		return fmt.Errorf("engine: no table %s", name)
 	}
 	for _, tp := range tuples {
 		if len(tp) != t.Schema.Len() {
+			db.wmu.Unlock()
 			return fmt.Errorf("engine: %s expects %d values, got %d", name, t.Schema.Len(), len(tp))
 		}
 	}
@@ -227,66 +401,103 @@ func (db *DB) BulkLoad(name string, tuples []types.Tuple) error {
 	// — the T^D transfer is atomic.
 	if db.fd != nil {
 		if err := db.fd.BeginLoad(t.Heap.File(), t.Name); err != nil {
+			db.wmu.Unlock()
 			return err
 		}
 	}
 	if err := t.Heap.BulkLoad(tuples); err != nil {
+		db.wmu.Unlock()
 		return err
 	}
+	nt := t.clone()
+	nt.Indexes = make(map[string]*btree.Tree, len(t.Indexes))
 	for col := range t.Indexes {
-		if err := db.buildIndex(t, col); err != nil {
+		idx, err := buildIndexTree(t.Heap, t.Schema, col)
+		if err != nil {
+			db.wmu.Unlock()
 			return err
 		}
+		nt.Indexes[col] = idx
 	}
-	t.Stats = nil
+	nt.Stats = nil
+	nt.pages, nt.tailSlots = t.Heap.Bound()
 	if db.fd != nil {
 		// Page images must precede the commit record in the WAL.
 		if err := db.pool.FlushAll(); err != nil {
+			db.wmu.Unlock()
 			return err
 		}
 		if err := db.fd.CommitLoad(t.Heap.File()); err != nil {
+			db.wmu.Unlock()
 			return err
 		}
 	}
-	return db.commitDurable()
+	next := cloneTables(cur.tables)
+	next[key(name)] = nt
+	if err := db.stageDurableLocked(); err != nil {
+		db.wmu.Unlock()
+		return err
+	}
+	db.publishLocked(next, t.Name, "load")
+	db.wmu.Unlock()
+	return db.awaitDurable()
 }
 
 // CreateIndex builds a secondary B+-tree index on one column.
 func (db *DB) CreateIndex(table, column string) error {
-	t, err := db.Table(table)
-	if err != nil {
-		return err
+	db.wmu.Lock()
+	cur := db.cat.Load()
+	t, ok := cur.tables[key(table)]
+	if !ok {
+		db.wmu.Unlock()
+		return fmt.Errorf("engine: no table %s", table)
 	}
 	if t.Schema.ColumnIndex(column) < 0 {
+		db.wmu.Unlock()
 		return fmt.Errorf("engine: no column %s in %s", column, table)
 	}
-	if err := db.buildIndex(t, strings.ToUpper(column)); err != nil {
-		return err
-	}
-	db.mu.RLock()
-	err = db.saveCatalogLocked()
-	db.mu.RUnlock()
+	idx, err := buildIndexTree(t.Heap, t.Schema, strings.ToUpper(column))
 	if err != nil {
+		db.wmu.Unlock()
 		return err
 	}
-	return db.commitDurable()
+	nt := t.clone()
+	nt.Indexes = make(map[string]*btree.Tree, len(t.Indexes)+1)
+	for col, old := range t.Indexes {
+		nt.Indexes[col] = old
+	}
+	nt.Indexes[strings.ToUpper(column)] = idx
+	next := cloneTables(cur.tables)
+	next[key(table)] = nt
+	if err := db.saveCatalog(next); err != nil {
+		db.wmu.Unlock()
+		return err
+	}
+	if err := db.stageDurableLocked(); err != nil {
+		db.wmu.Unlock()
+		return err
+	}
+	db.publishLocked(next, t.Name, "createindex")
+	db.wmu.Unlock()
+	return db.awaitDurable()
 }
 
-func (db *DB) buildIndex(t *Table, columnKey string) error {
-	i := t.Schema.ColumnIndex(columnKey)
+// buildIndexTree scans the heap and builds a fresh tree over column
+// columnKey (upper-case).
+func buildIndexTree(heap *storage.HeapFile, schema types.Schema, columnKey string) (*btree.Tree, error) {
+	i := schema.ColumnIndex(columnKey)
 	if i < 0 {
-		return fmt.Errorf("engine: no column %s in %s", columnKey, t.Name)
+		return nil, fmt.Errorf("engine: no column %s", columnKey)
 	}
 	idx := btree.New()
-	err := t.Heap.Scan(func(rid storage.RecordID, tuple types.Tuple) bool {
+	err := heap.Scan(func(rid storage.RecordID, tuple types.Tuple) bool {
 		idx.Insert(tuple[i], rid)
 		return true
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t.Indexes[strings.ToUpper(columnKey)] = idx
-	return nil
+	return idx, nil
 }
 
 // Index returns the index on the column, or nil.
@@ -296,11 +507,17 @@ func (t *Table) Index(column string) *btree.Tree {
 
 // Analyze recomputes table and column statistics; histogramBuckets > 0
 // additionally builds height-balanced histograms on every orderable
-// column.
+// column. The result is published as a new catalog version — the
+// commit sequence doubles as the statistics epoch, so a statement that
+// pinned its snapshot before the ANALYZE keeps planning against the
+// old statistics.
 func (db *DB) Analyze(name string, histogramBuckets int) (*meta.TableStats, error) {
-	t, err := db.Table(name)
-	if err != nil {
-		return nil, err
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	cur := db.cat.Load()
+	t, ok := cur.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %s", name)
 	}
 	stats := &meta.TableStats{
 		Table:   t.Name,
@@ -309,7 +526,7 @@ func (db *DB) Analyze(name string, histogramBuckets int) (*meta.TableStats, erro
 	ncols := t.Schema.Len()
 	values := make([][]types.Value, ncols)
 	var card, bytes int64
-	err = t.Heap.Scan(func(_ storage.RecordID, tuple types.Tuple) bool {
+	err := t.Heap.Scan(func(_ storage.RecordID, tuple types.Tuple) bool {
 		card++
 		bytes += int64(tuple.ByteSize())
 		for i, v := range tuple {
@@ -353,6 +570,13 @@ func (db *DB) Analyze(name string, histogramBuckets int) (*meta.TableStats, erro
 		}
 		stats.Columns[strings.ToUpper(col.Name)] = cs
 	}
-	t.Stats = stats
+	nt := t.clone()
+	nt.Stats = stats
+	// ANALYZE under wmu sees the whole heap; the published bound moves
+	// with it so statistics and data stay in step.
+	nt.pages, nt.tailSlots = t.Heap.Bound()
+	next := cloneTables(cur.tables)
+	next[key(name)] = nt
+	db.publishLocked(next, t.Name, "analyze")
 	return stats, nil
 }

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
 	"tango/internal/btree"
 	"tango/internal/storage"
@@ -56,11 +57,12 @@ func OpenAt(dir string, cfg Config) (*DB, *storage.RecoveryStats, error) {
 		fd.CheckpointBytes = cfg.CheckpointBytes
 	}
 	db := &DB{
-		disk:   fd,
-		fd:     fd,
-		pool:   storage.NewBufferPool(fd, cfg.BufferPoolPages),
-		tables: map[string]*Table{},
+		disk: fd,
+		fd:   fd,
+		pool: storage.NewBufferPool(fd, cfg.BufferPoolPages),
 	}
+	db.cat.Store(&catalogVersion{seq: 1, tables: map[string]*Table{}})
+	db.pins.init()
 	if err := db.bootstrapCatalog(); err != nil {
 		return nil, stats, err
 	}
@@ -76,10 +78,13 @@ func (db *DB) Durable() bool { return db.fd != nil }
 
 // Close makes the database durable and releases it: flush the pool,
 // checkpoint, close the store. In-memory instances close trivially.
+// The writer lock is held so no commit is caught mid-publish.
 func (db *DB) Close() error {
 	if db.fd == nil {
 		return nil
 	}
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -87,10 +92,14 @@ func (db *DB) Close() error {
 }
 
 // Checkpoint forces an incremental checkpoint of the durable store.
+// Snapshot readers are not blocked: they hold no lock the checkpoint
+// needs, and the pool flush copies page images under pins.
 func (db *DB) Checkpoint() error {
 	if db.fd == nil {
 		return nil
 	}
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -110,6 +119,7 @@ func (db *DB) bootstrapCatalog() error {
 	if err := json.Unmarshal([]byte(doc), &cat); err != nil {
 		return fmt.Errorf("engine: corrupt persisted catalog: %w", err)
 	}
+	tables := map[string]*Table{}
 	for _, e := range cat.Tables {
 		if !db.fd.HasFile(e.File) {
 			continue
@@ -120,27 +130,31 @@ func (db *DB) bootstrapCatalog() error {
 			Heap:    storage.OpenHeapFile(db.pool, e.File),
 			Indexes: map[string]*btree.Tree{},
 		}
-		db.tables[key(e.Name)] = t
 		for _, col := range e.Indexes {
-			if err := db.buildIndex(t, col); err != nil {
+			idx, err := buildIndexTree(t.Heap, t.Schema, col)
+			if err != nil {
 				return fmt.Errorf("engine: rebuild index %s(%s): %w", e.Name, col, err)
 			}
+			t.Indexes[col] = idx
 		}
+		t.pages, t.tailSlots = t.Heap.Bound()
+		tables[key(e.Name)] = t
 	}
+	db.cat.Store(&catalogVersion{seq: 1, tables: tables})
 	return nil
 }
 
-// encodeCatalogLocked serializes the catalog deterministically
-// (tables sorted by key). Caller holds db.mu.
-func (db *DB) encodeCatalogLocked() (string, error) {
-	keys := make([]string, 0, len(db.tables))
-	for k := range db.tables {
+// encodeCatalog serializes a table set deterministically (tables
+// sorted by key).
+func encodeCatalog(tables map[string]*Table) (string, error) {
+	keys := make([]string, 0, len(tables))
+	for k := range tables {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	doc := catalogDoc{Tables: make([]catalogEntry, 0, len(keys))}
 	for _, k := range keys {
-		t := db.tables[k]
+		t := tables[k]
 		idx := make([]string, 0, len(t.Indexes))
 		for col := range t.Indexes {
 			idx = append(idx, col)
@@ -160,29 +174,47 @@ func (db *DB) encodeCatalogLocked() (string, error) {
 	return string(buf), nil
 }
 
-// saveCatalogLocked stages the serialized catalog into the store's
-// durable metadata (it becomes durable at the next Sync). Caller holds
-// db.mu.
-func (db *DB) saveCatalogLocked() error {
+// saveCatalog stages the serialized next catalog into the store's
+// durable metadata (it becomes durable at the next Commit). Caller
+// holds wmu.
+func (db *DB) saveCatalog(tables map[string]*Table) error {
 	if db.fd == nil {
 		return nil
 	}
-	doc, err := db.encodeCatalogLocked()
+	doc, err := encodeCatalog(tables)
 	if err != nil {
 		return fmt.Errorf("engine: encode catalog: %w", err)
 	}
 	return db.fd.PutMeta("catalog", doc)
 }
 
-// commitDurable is the engine's durability barrier: every dirty page
-// is flushed (logging its WAL image) and the store is synced. No-op on
-// an in-memory DB.
-func (db *DB) commitDurable() error {
+// stageDurableLocked is the first half of the engine's durability
+// barrier, run under wmu: every dirty page is flushed, logging its
+// WAL image into the group-commit buffer. No-op on an in-memory DB.
+func (db *DB) stageDurableLocked() error {
 	if db.fd == nil {
 		return nil
 	}
-	if err := db.pool.FlushAll(); err != nil {
-		return err
+	// The barrier lives in awaitDurable (FileDisk.Commit), which every
+	// writer calls after publishing with wmu released — splitting the
+	// two halves is what lets N sessions share one fsync.
+	//lint:ignore walorder barrier is FileDisk.Commit in awaitDurable, after the publish
+	return db.pool.FlushAll()
+}
+
+// awaitDurable is the second half, run after the publish with wmu
+// released: wait for the staged records to reach the fsynced log. N
+// sessions awaiting together share fsyncs (storage group commit).
+// The version is visible to new snapshots from the publish; a crash
+// between publish and fsync may roll the commit back, which the
+// session observes as this call's error.
+func (db *DB) awaitDurable() error {
+	if db.fd == nil {
+		return nil
 	}
-	return db.fd.Sync()
+	start := time.Now()
+	err := db.fd.Commit()
+	db.commitWaitNS.Add(time.Since(start).Nanoseconds())
+	db.commits.Add(1)
+	return err
 }

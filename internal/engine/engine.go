@@ -10,18 +10,27 @@ import (
 )
 
 // Query parses and plans a SELECT, returning a pipelined iterator. The
-// caller must Open, drain, and Close it.
+// caller must Open, drain, and Close it. The statement pins its own
+// snapshot — released when the iterator closes — so it reads one
+// consistent commit sequence regardless of concurrent writers.
 func (db *DB) Query(sql string) (rel.Iterator, error) {
 	sel, err := sqlparser.ParseSelect(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.planSelect(sel)
+	return db.QueryStmt(sel)
 }
 
-// QueryStmt plans an already-parsed SELECT.
+// QueryStmt plans an already-parsed SELECT under a statement-pinned
+// snapshot (see Query).
 func (db *DB) QueryStmt(sel *sqlast.SelectStmt) (rel.Iterator, error) {
-	return db.planSelect(sel)
+	snap := db.Snapshot()
+	it, err := db.planSelect(snap.v, sel)
+	if err != nil {
+		snap.Release()
+		return nil, err
+	}
+	return &snapIter{Iterator: it, snap: snap}, nil
 }
 
 // QueryAll runs a SELECT and materializes the result.
@@ -141,7 +150,9 @@ func (db *DB) execInsert(s *sqlast.Insert) (int64, error) {
 // away: an insert is a durability path, and Close is where a torn scan
 // would surface.
 func (db *DB) insertFromSelect(sel *sqlast.SelectStmt, insertRow func(types.Tuple) error) (n int64, err error) {
-	it, err := db.planSelect(sel)
+	// The source SELECT pins its own snapshot, so INSERT ... SELECT
+	// from the target table reads a stable prefix and terminates.
+	it, err := db.QueryStmt(sel)
 	if err != nil {
 		return 0, err
 	}

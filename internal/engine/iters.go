@@ -37,7 +37,10 @@ func newHeapScan(t *Table, qualifier string) *heapScan {
 func (s *heapScan) Schema() types.Schema { return s.schema }
 
 func (s *heapScan) Open() error {
-	s.numPages = s.table.Heap.NumPages()
+	// The scan covers exactly the pinned version's visibility bound:
+	// pages appended by concurrent commits lie past it, and the tail
+	// page is cut at the version's slot count.
+	s.numPages = int(s.table.pages)
 	s.pageNo = 0
 	s.buf = s.buf[:0]
 	s.pos = 0
@@ -53,8 +56,12 @@ func (s *heapScan) Next() (types.Tuple, bool, error) {
 		if int(s.pageNo) >= s.numPages {
 			return nil, false, nil
 		}
+		maxSlots := -1
+		if int(s.pageNo) == s.numPages-1 {
+			maxSlots = int(s.table.tailSlots)
+		}
 		var err error
-		s.buf, err = s.table.Heap.PageTuples(s.pageNo, s.buf[:0])
+		s.buf, err = s.table.Heap.PageTuplesN(s.pageNo, maxSlots, s.buf[:0])
 		if err != nil {
 			return nil, false, err
 		}
@@ -99,8 +106,13 @@ func (s *indexScan) Open() error {
 	}
 	s.rids = s.rids[:0]
 	s.pos = 0
+	// Index trees may be shared with later versions (in-place single
+	// row inserts); the version's visibility bound filters entries the
+	// snapshot must not see.
 	idx.AscendRange(s.lo, s.hi, s.hiIncl, func(e btree.Entry) bool {
-		s.rids = append(s.rids, e.RID)
+		if s.table.visible(e.RID) {
+			s.rids = append(s.rids, e.RID)
+		}
 		return true
 	})
 	return nil
@@ -393,6 +405,9 @@ func (j *indexNLJoin) Next() (types.Tuple, bool, error) {
 			j.matches = j.matches[:0]
 			if !key.IsNull() {
 				for _, rid := range idx.Lookup(key) {
+					if !j.inner.visible(rid) {
+						continue
+					}
 					it, err := j.inner.Heap.Get(rid)
 					if err != nil {
 						return nil, false, err

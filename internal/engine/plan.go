@@ -34,16 +34,18 @@ func asHeapScan(it rel.Iterator) (*heapScan, bool) {
 	return hs, ok
 }
 
-// planSelect builds an iterator tree for a SELECT statement, including
-// any UNION chain and the trailing ORDER BY.
-func (db *DB) planSelect(s *sqlast.SelectStmt) (rel.Iterator, error) {
-	it, err := db.planCore(s)
+// planSelect builds an iterator tree for a SELECT statement against
+// one pinned catalog version, including any UNION chain and the
+// trailing ORDER BY. Table resolution, index choice, and visibility
+// bounds all come from v, so the plan reads one consistent snapshot.
+func (db *DB) planSelect(v *catalogVersion, s *sqlast.SelectStmt) (rel.Iterator, error) {
+	it, err := db.planCore(v, s)
 	if err != nil {
 		return nil, err
 	}
 	// UNION chain.
 	if s.Union != nil {
-		right, err := db.planSelect(&sqlast.SelectStmt{
+		right, err := db.planSelect(v, &sqlast.SelectStmt{
 			Hint: s.Union.Hint, Distinct: s.Union.Distinct, Items: s.Union.Items,
 			From: s.Union.From, Where: s.Union.Where, GroupBy: s.Union.GroupBy,
 			Having: s.Union.Having, Union: s.Union.Union, UnionAll: s.Union.UnionAll,
@@ -145,9 +147,9 @@ func stripQualifiers(e sqlast.Expr) sqlast.Expr {
 }
 
 // planCore plans one SELECT block (no UNION, no ORDER BY).
-func (db *DB) planCore(s *sqlast.SelectStmt) (rel.Iterator, error) {
+func (db *DB) planCore(v *catalogVersion, s *sqlast.SelectStmt) (rel.Iterator, error) {
 	// 1. FROM sources.
-	sources, err := db.planSources(s)
+	sources, err := db.planSources(v, s)
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +247,7 @@ func (db *DB) planCore(s *sqlast.SelectStmt) (rel.Iterator, error) {
 
 // planSources builds one iterator per FROM entry; schemas are
 // qualified by alias (or table name).
-func (db *DB) planSources(s *sqlast.SelectStmt) ([]rel.Iterator, error) {
+func (db *DB) planSources(v *catalogVersion, s *sqlast.SelectStmt) ([]rel.Iterator, error) {
 	if len(s.From) == 0 {
 		// "SELECT expr" with no FROM: one empty row.
 		return []rel.Iterator{&dualIter{}}, nil
@@ -254,7 +256,7 @@ func (db *DB) planSources(s *sqlast.SelectStmt) ([]rel.Iterator, error) {
 	for i, ref := range s.From {
 		switch r := ref.(type) {
 		case sqlast.TableName:
-			t, err := db.Table(r.Name)
+			t, err := v.table(r.Name)
 			if err != nil {
 				return nil, err
 			}
@@ -264,7 +266,7 @@ func (db *DB) planSources(s *sqlast.SelectStmt) ([]rel.Iterator, error) {
 			}
 			sources[i] = db.instrument("scan("+t.Name+")", newHeapScan(t, q))
 		case sqlast.Derived:
-			sub, err := db.planSelect(r.Select)
+			sub, err := db.planSelect(v, r.Select)
 			if err != nil {
 				return nil, err
 			}

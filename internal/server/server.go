@@ -157,16 +157,24 @@ func (s *Server) Query(sql string, prefetch int) (*Cursor, error) {
 		return nil, d.Error(wire.OpQuery)
 	}
 	s.lat.Charge(len(sql))
-	it, err := s.db.Query(sql)
+	// Statement → snapshot binding: the cursor pins the commit sequence
+	// current at open, so its batches stream one consistent state no
+	// matter what other sessions commit or load meanwhile. The pin is
+	// released when the cursor closes.
+	snap := s.db.Snapshot()
+	it, err := snap.Query(sql)
 	if err != nil {
+		snap.Release()
 		return nil, err
 	}
 	if err := it.Open(); err != nil {
+		_ = it.Close()
+		snap.Release()
 		return nil, err
 	}
 	atomic.AddInt64(&s.queries, 1)
 	atomic.AddInt64(&s.openCursors, 1)
-	return &Cursor{srv: s, it: it, prefetch: prefetch}, nil
+	return &Cursor{srv: s, it: it, snap: snap, prefetch: prefetch}, nil
 }
 
 // OpenCursors reports the number of cursors opened but not yet
@@ -185,6 +193,7 @@ func (s *Server) OpenCursors() int64 {
 type Cursor struct {
 	srv      *Server
 	it       rel.Iterator
+	snap     *engine.Snapshot // pinned commit sequence; released on Close
 	prefetch int
 
 	// The cursor lock is held across iterator pulls (engine I/O): an
@@ -199,6 +208,10 @@ type Cursor struct {
 
 // Schema returns the result schema.
 func (c *Cursor) Schema() types.Schema { return c.it.Schema() }
+
+// CommitSeq returns the commit sequence the cursor's snapshot pinned
+// at open.
+func (c *Cursor) CommitSeq() uint64 { return c.snap.Seq() }
 
 // produce pulls the next batch of up to prefetch rows from the
 // result iterator, returning nil at end of stream. Caller holds c.mu.
@@ -342,7 +355,9 @@ func (c *Cursor) Close() error {
 		c.closed = true
 		atomic.AddInt64(&c.srv.openCursors, -1)
 	}
-	return c.it.Close()
+	err := c.it.Close()
+	c.snap.Release()
+	return err
 }
 
 // Load is the direct-path bulk loader (the paper's SQL*Loader): the

@@ -48,6 +48,82 @@ type frame struct {
 	// itself runs with the latch released.
 	loading  bool
 	evicting bool
+	// latch orders readers and the single catalog writer on the page
+	// CONTENT (the pool latch above covers only frame bookkeeping). It
+	// is acquired strictly after Fetch returns — never across I/O —
+	// and released before the unpin, so it nests inside nothing.
+	latch sync.RWMutex //tango:lock-order frame latch
+}
+
+// The pool latch and the per-frame content latch are never held
+// together, but the declared order pins the hierarchy: frame latches
+// live below the pool in the tree.
+//
+//tango:lock-order bufferpool < frame
+
+// PageRef is a pinned, content-latched page handle returned by
+// FetchShared/FetchExclusive; Release drops the latch and the pin.
+type PageRef struct {
+	bp   *BufferPool
+	f    *frame // nil if the frame vanished between pin and latch
+	pid  PageID
+	excl bool
+}
+
+// FetchShared pins the page and takes its content latch in shared
+// mode, blocking only if a writer holds the page exclusively. Any
+// disk read happens inside Fetch, before the latch is touched.
+func (bp *BufferPool) FetchShared(pid PageID) (*Page, *PageRef, error) {
+	p, f, err := bp.fetchFrame(pid)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f != nil {
+		f.latch.RLock()
+	}
+	return p, &PageRef{bp: bp, f: f, pid: pid, excl: false}, nil
+}
+
+// FetchExclusive pins the page and takes its content latch in
+// exclusive mode, for in-place mutation of a published page.
+func (bp *BufferPool) FetchExclusive(pid PageID) (*Page, *PageRef, error) {
+	p, f, err := bp.fetchFrame(pid)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f != nil {
+		f.latch.Lock()
+	}
+	return p, &PageRef{bp: bp, f: f, pid: pid, excl: true}, nil
+}
+
+// fetchFrame pins the page and looks up its frame for latching. The
+// pool latch is released before the caller touches the content latch
+// (bufferpool < frame, never nested the other way). A nil frame means
+// the entry vanished between pin and lookup; the caller skips the
+// latch — the pin alone keeps the page stable.
+func (bp *BufferPool) fetchFrame(pid PageID) (*Page, *frame, error) {
+	p, err := bp.Fetch(pid)
+	if err != nil {
+		return nil, nil, err
+	}
+	bp.mu.Lock()
+	f := bp.frames[pid]
+	bp.mu.Unlock()
+	return p, f, nil
+}
+
+// Release drops the content latch, then the pin.
+func (r *PageRef) Release() {
+	if r.f != nil {
+		if r.excl {
+			r.f.latch.Unlock()
+		} else {
+			r.f.latch.RUnlock()
+		}
+		r.f = nil
+	}
+	r.bp.Unpin(r.pid)
 }
 
 // NewBufferPool creates a pool of the given capacity (in pages) over

@@ -101,9 +101,16 @@ func dataPath(dir string, id FileID) string {
 // page state (and the I/O counters); fmu serializes the durable
 // bookkeeping and is always taken before the Disk mutex — the ordered
 // pair below. fmu is deliberately NOT a latch: serializing WAL
-// appends and fsyncs is its whole job.
+// appends is its whole job — but since group commit it is no longer
+// held across fsync. That job moved to smu (class "walsync"), which
+// serializes batch fsyncs and the checkpoint's WAL swap; committers
+// append under fmu and then wait on a batch, so N sessions committing
+// together share one fsync. gmu (class "groupcommit") is the latch
+// guarding only the open-batch pointer.
 //
 //tango:lock-order store < memstore
+//tango:lock-order walsync < store
+//tango:lock-order walsync < groupcommit
 
 type FileDisk struct {
 	Disk
@@ -122,6 +129,23 @@ type FileDisk struct {
 	openLoads map[FileID]loadMark
 	script    *CrashScript
 	crashed   atomic.Bool
+
+	// Group commit. smu admits one batch fsync at a time; gmu guards
+	// the batch the next committers pile onto.
+	smu  sync.Mutex //tango:lock-order walsync
+	gmu  sync.Mutex //tango:lock-order groupcommit latch
+	open *commitBatch
+
+	commits atomic.Int64 // Commit calls (leader + follower)
+	batches atomic.Int64 // batch fsyncs on the commit path
+	fsyncs  atomic.Int64 // WAL fsyncs, commit path + checkpoints
+}
+
+// commitBatch is one group of concurrent committers sharing a single
+// WAL write+fsync. done is closed by the leader once err is set.
+type commitBatch struct {
+	done chan struct{}
+	err  error
 }
 
 // Dir returns the data directory backing the store.
@@ -269,25 +293,95 @@ func (fd *FileDisk) ReadPage(pid PageID, dst *Page) error {
 }
 
 // Sync is the durability barrier: all buffered WAL records reach the
-// fsynced log. When the log has grown past CheckpointBytes, Sync also
-// takes an automatic incremental checkpoint.
-func (fd *FileDisk) Sync() error {
+// fsynced log. It is Commit under another name — concurrent callers
+// share fsyncs. When the log has grown past CheckpointBytes, the
+// barrier also takes an automatic incremental checkpoint.
+func (fd *FileDisk) Sync() error { return fd.Commit() }
+
+// Commit is the group-commit durability barrier: it returns once
+// every WAL record appended by this goroutine before the call is on
+// fsynced stable storage. Concurrent committers are batched — one
+// leader drains the group-commit buffer and fsyncs once for the whole
+// batch while followers wait on the batch channel — so N sessions
+// committing together cost far fewer than N fsyncs. A single
+// uncontended caller degenerates to exactly one fsync with no added
+// latency.
+func (fd *FileDisk) Commit() error {
 	if fd.crashed.Load() {
 		return ErrCrashed
 	}
+	fd.commits.Add(1)
+	fd.gmu.Lock()
+	if b := fd.open; b != nil {
+		// Follower: a leader exists and has not yet drained the
+		// buffer, so our records (appended under fmu before this call)
+		// are covered by its batch. Wait outside any lock.
+		fd.gmu.Unlock()
+		<-b.done
+		return b.err
+	}
+	b := &commitBatch{done: make(chan struct{})}
+	fd.open = b
+	fd.gmu.Unlock()
+
+	// Leader: queue behind the in-flight batch fsync (if any); while
+	// we wait, later committers pile onto b as followers.
+	fd.smu.Lock()
+	fd.gmu.Lock()
+	fd.open = nil // close the batch; the next committer leads a new one
+	fd.gmu.Unlock()
+	b.err = fd.syncBatchLocked()
+	fd.smu.Unlock()
+	close(b.done)
+	return b.err
+}
+
+// syncBatchLocked drains the group-commit buffer and writes+fsyncs it
+// with fmu released, so committers keep appending during the I/O.
+// Caller holds smu, which excludes concurrent batch fsyncs and — via
+// Checkpoint/Close also taking smu — any WAL swap under the captured
+// writer.
+func (fd *FileDisk) syncBatchLocked() error {
+	fd.fmu.Lock()
+	w := fd.wal
+	frames := w.takePending()
+	script := fd.script
+	fd.fmu.Unlock()
+
+	nBytes, nRecs, err := w.writeFrames(frames, script)
+	fd.fsyncs.Add(1)
+	fd.batches.Add(1)
+	if errors.Is(err, ErrCrashed) {
+		fd.crashed.Store(true)
+	}
+
 	fd.fmu.Lock()
 	defer fd.fmu.Unlock()
-	if err := fd.walSyncLocked(); err != nil {
+	w.durableBytes += nBytes
+	w.durableRecords += nRecs
+	if err != nil {
+		// Re-attach what never reached the file ahead of anything
+		// appended meanwhile. (After a scripted crash the store is
+		// dead and the frames are unreachable either way.)
+		w.pending = append(frames[nRecs:], w.pending...)
 		return err
 	}
 	limit := fd.CheckpointBytes
 	if limit == 0 {
 		limit = DefaultCheckpointBytes
 	}
-	if limit > 0 && fd.wal.durableBytes >= limit {
+	if limit > 0 && w.durableBytes >= limit {
 		return fd.checkpointLocked()
 	}
 	return nil
+}
+
+// GroupCommitStats reports commit-path counters: Commit calls, batch
+// fsyncs on the commit path, and total WAL fsyncs (commit batches
+// plus checkpoint syncs). fsyncs/commits < 1 under concurrency is the
+// whole point of group commit.
+func (fd *FileDisk) GroupCommitStats() (commits, batches, fsyncs int64) {
+	return fd.commits.Load(), fd.batches.Load(), fd.fsyncs.Load()
 }
 
 // WALStats reports the durable size of the current log segment (bytes
@@ -306,6 +400,8 @@ func (fd *FileDisk) Checkpoint() error {
 	if fd.crashed.Load() {
 		return ErrCrashed
 	}
+	fd.smu.Lock()
+	defer fd.smu.Unlock()
 	fd.fmu.Lock()
 	defer fd.fmu.Unlock()
 	return fd.checkpointLocked()
@@ -316,6 +412,8 @@ func (fd *FileDisk) Close() error {
 	if fd.crashed.Load() {
 		return ErrCrashed
 	}
+	fd.smu.Lock()
+	defer fd.smu.Unlock()
 	fd.fmu.Lock()
 	defer fd.fmu.Unlock()
 	if err := fd.checkpointLocked(); err != nil {
@@ -326,12 +424,16 @@ func (fd *FileDisk) Close() error {
 
 func (fd *FileDisk) walSyncLocked() error {
 	err := fd.wal.sync(fd.script)
+	fd.fsyncs.Add(1)
 	if errors.Is(err, ErrCrashed) {
 		fd.crashed.Store(true)
 	}
 	return err
 }
 
+// checkpointLocked requires both smu and fmu: smu keeps a concurrent
+// group-commit batch from fsyncing through (or swapping out from
+// under) the WAL writer mid-checkpoint; fmu freezes the bookkeeping.
 func (fd *FileDisk) checkpointLocked() error {
 	// Step 1: WAL first — every dirty page about to be written in
 	// place must have its covering image durable before the in-place

@@ -44,18 +44,23 @@ func (h *HeapFile) File() FileID { return h.file }
 // statistic.
 func (h *HeapFile) NumPages() int { return h.pool.disk.NumPages(h.file) }
 
-// Insert appends a tuple and returns its record ID.
+// Insert appends a tuple and returns its record ID. The tail page is
+// mutated under its exclusive content latch: snapshot readers whose
+// visibility bound ends on that page read it under the shared latch,
+// so a half-inserted record is never observed. A fresh page needs no
+// latch — it lies beyond every published bound until the caller's
+// commit publishes a new one.
 func (h *HeapFile) Insert(t types.Tuple) (RecordID, error) {
 	rec := types.EncodeTuple(nil, t)
 	// Try the cached last page first.
 	if h.lastPage >= 0 {
 		pid := PageID{File: h.file, No: h.lastPage}
-		p, err := h.pool.Fetch(pid)
+		p, ref, err := h.pool.FetchExclusive(pid)
 		if err != nil {
 			return RecordID{}, err
 		}
 		slot, err := p.Insert(rec)
-		h.pool.Unpin(pid)
+		ref.Release()
 		if err == nil {
 			return RecordID{Page: pid.No, Slot: int32(slot)}, nil
 		}
@@ -79,11 +84,11 @@ func (h *HeapFile) Insert(t types.Tuple) (RecordID, error) {
 // Get reads the tuple at the given record ID.
 func (h *HeapFile) Get(rid RecordID) (types.Tuple, error) {
 	pid := PageID{File: h.file, No: rid.Page}
-	p, err := h.pool.Fetch(pid)
+	p, ref, err := h.pool.FetchShared(pid)
 	if err != nil {
 		return nil, err
 	}
-	defer h.pool.Unpin(pid)
+	defer ref.Release()
 	rec, err := p.Record(int(rid.Slot))
 	if err != nil {
 		return nil, err
@@ -95,11 +100,11 @@ func (h *HeapFile) Get(rid RecordID) (types.Tuple, error) {
 // Delete removes the tuple at the given record ID.
 func (h *HeapFile) Delete(rid RecordID) error {
 	pid := PageID{File: h.file, No: rid.Page}
-	p, err := h.pool.Fetch(pid)
+	p, ref, err := h.pool.FetchExclusive(pid)
 	if err != nil {
 		return err
 	}
-	defer h.pool.Unpin(pid)
+	defer ref.Release()
 	return p.Delete(int(rid.Slot))
 }
 
@@ -111,15 +116,22 @@ func (h *HeapFile) Drop() {
 
 // Scan iterates over every live tuple in the file in storage order,
 // calling fn with the record ID and tuple. fn returning false stops the
-// scan early.
+// scan early. Each page is decoded under its shared content latch and
+// the latch released before fn runs, so callbacks may acquire other
+// locks (index builds) without entering the latch hierarchy.
 func (h *HeapFile) Scan(fn func(RecordID, types.Tuple) bool) error {
 	n := h.NumPages()
+	var (
+		rids   []RecordID
+		tuples []types.Tuple
+	)
 	for pageNo := int32(0); pageNo < int32(n); pageNo++ {
 		pid := PageID{File: h.file, No: pageNo}
-		p, err := h.pool.Fetch(pid)
+		p, ref, err := h.pool.FetchShared(pid)
 		if err != nil {
 			return err
 		}
+		rids, tuples = rids[:0], tuples[:0]
 		slots := p.NumSlots()
 		for s := 0; s < slots; s++ {
 			rec, err := p.Record(s)
@@ -127,20 +139,23 @@ func (h *HeapFile) Scan(fn func(RecordID, types.Tuple) bool) error {
 				continue
 			}
 			if err != nil {
-				h.pool.Unpin(pid)
+				ref.Release()
 				return err
 			}
 			t, _, err := types.DecodeTuple(rec)
 			if err != nil {
-				h.pool.Unpin(pid)
+				ref.Release()
 				return err
 			}
-			if !fn(RecordID{Page: pageNo, Slot: int32(s)}, t) {
-				h.pool.Unpin(pid)
+			rids = append(rids, RecordID{Page: pageNo, Slot: int32(s)})
+			tuples = append(tuples, t)
+		}
+		ref.Release()
+		for i, t := range tuples {
+			if !fn(rids[i], t) {
 				return nil
 			}
 		}
-		h.pool.Unpin(pid)
 	}
 	return nil
 }
@@ -149,13 +164,24 @@ func (h *HeapFile) Scan(fn func(RecordID, types.Tuple) bool) error {
 // It lets scans stream page-at-a-time instead of materializing the
 // whole table.
 func (h *HeapFile) PageTuples(pageNo int32, dst []types.Tuple) ([]types.Tuple, error) {
+	return h.PageTuplesN(pageNo, -1, dst)
+}
+
+// PageTuplesN decodes the live tuples of one page up to (excluding)
+// slot maxSlots, appending to dst; maxSlots < 0 means every slot.
+// Snapshot scans use the slot cap to stop a tail page at the reader's
+// visibility bound. The page is read under its shared content latch.
+func (h *HeapFile) PageTuplesN(pageNo int32, maxSlots int, dst []types.Tuple) ([]types.Tuple, error) {
 	pid := PageID{File: h.file, No: pageNo}
-	p, err := h.pool.Fetch(pid)
+	p, ref, err := h.pool.FetchShared(pid)
 	if err != nil {
 		return dst, err
 	}
-	defer h.pool.Unpin(pid)
+	defer ref.Release()
 	slots := p.NumSlots()
+	if maxSlots >= 0 && maxSlots < slots {
+		slots = maxSlots
+	}
 	for s := 0; s < slots; s++ {
 		rec, err := p.Record(s)
 		if err == ErrNoRecord {
@@ -171,6 +197,25 @@ func (h *HeapFile) PageTuples(pageNo int32, dst []types.Tuple) ([]types.Tuple, e
 		dst = append(dst, t)
 	}
 	return dst, nil
+}
+
+// Bound reports the file's current visibility bound: the page count
+// and the number of slots on the last page. A snapshot publishing
+// (pages, tailSlots) makes exactly the rows existing now visible —
+// later appends land past the bound (pages fill strictly in order and
+// sealed pages never gain slots).
+func (h *HeapFile) Bound() (pages, tailSlots int32) {
+	n := int32(h.NumPages())
+	if n == 0 {
+		return 0, 0
+	}
+	pid := PageID{File: h.file, No: n - 1}
+	p, ref, err := h.pool.FetchShared(pid)
+	if err != nil {
+		return n, 0
+	}
+	defer ref.Release()
+	return n, int32(p.NumSlots())
 }
 
 // BulkLoad appends all tuples from the slice using a direct page-fill
