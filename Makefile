@@ -5,10 +5,10 @@ GO ?= go
 # Fuzz smoke budget per target (ci runs each fuzzer this long).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-fix lint-report test race fuzz chaos crash bench-smoke bench-json ci clean
+.PHONY: all build vet lint lint-fix lint-report test race fuzz chaos crash load bench-smoke bench-json ci clean
 
 # Benchmark report written by bench-json.
-BENCHOUT ?= BENCH_9.json
+BENCHOUT ?= BENCH_10.json
 
 all: ci
 
@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test ./internal/sqlparser/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/tsql/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire/ -run='^$$' -fuzz=FuzzParseSchedule -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire/ -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/storage/ -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME)
 
 # chaos runs the seeded fault-injection sweep (every seed query under
@@ -75,6 +76,16 @@ chaos:
 # for the unstrided sweep.
 crash:
 	$(GO) test ./internal/bench/ -run 'TestCrash|TestSplitSchedule' -race -short
+
+# load is the TCP serving-path smoke: LOADSESSIONS simulated
+# sessions replay the mixed workload over real sockets — through the
+# fault-injecting chaos proxy — against an embedded admission-
+# controlled server, under the race detector. The run fails on any
+# untyped error or leaked cursor/temp-table/session after drain.
+# `make load LOADSESSIONS=1024` is the full thousand-session sweep.
+LOADSESSIONS ?= 256
+load:
+	$(GO) run -race ./cmd/tangoload -sessions $(LOADSESSIONS) -ops 2 -retries 8 -op-timeout 2s -deadline 15s -chaos "seed=7;stall=200us;fetch@3=drop"
 
 # bench-smoke runs every benchmark for a single iteration at both
 # GOMAXPROCS widths, so ci catches benchmarks that no longer compile
@@ -99,6 +110,7 @@ bench-smoke:
 bench-json:
 	{ $(GO) test ./internal/bench/ -run '^$$' -bench 'Query1|SortM' -benchtime 15x -cpu 1,4; \
 	  $(GO) test ./internal/bench/ -run '^$$' -bench 'GroupCommit' -benchtime 200x; \
+	  $(GO) test ./internal/bench/ -run '^$$' -bench 'TCPLoad' -benchtime 1x; \
 	  $(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime 2000x; } | $(GO) run ./cmd/benchjson > $(BENCHOUT)
 
 # ci is the full verification gate: compile everything, vet, run the
@@ -106,7 +118,7 @@ bench-json:
 # the benchmarks, run the test suite under the race detector (tests
 # also planck-check every plan), run the short chaos sweep under
 # -race, and sweep the crash-recovery matrix under -race.
-ci: build vet lint-report fuzz race chaos crash bench-smoke
+ci: build vet lint-report fuzz race chaos crash load bench-smoke
 
 clean:
 	$(GO) clean ./...

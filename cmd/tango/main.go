@@ -23,6 +23,7 @@ import (
 
 	"tango/internal/bench"
 	"tango/internal/client"
+	"tango/internal/server"
 	"tango/internal/rel"
 	"tango/internal/storage"
 	"tango/internal/tango"
@@ -38,6 +39,9 @@ func main() {
 	command := flag.String("c", "", "run one statement and exit (scriptable mode)")
 	sessions := flag.Int("sessions", 1, "with -c: run the statement concurrently on this many independent sessions and report group-commit amortization (commits, fsyncs, fsyncs/commit, wall time)")
 	metricsAddr := flag.String("metrics", "", `serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. "127.0.0.1:9090")`)
+	listen := flag.String("listen", "", `serve the framed wire protocol over TCP on this address (e.g. "127.0.0.1:7777"); attack it with tangoload -addr`)
+	maxInFlight := flag.Int("max-inflight", 0, "with -listen: admission-control concurrent statement limit (0 = admit everything)")
+	maxQueue := flag.Int("max-queue", 256, "with -listen and -max-inflight: admission wait-queue bound")
 	checkPlans := flag.Bool("checkplans", true, "validate every optimized plan and executor build with the planck plan checker")
 	parallelism := flag.Int("parallelism", 0, "middleware operator fan-out: 0 = GOMAXPROCS, 1 = sequential algorithms")
 	retries := flag.Int("retries", client.DefaultRetryPolicy().MaxAttempts, "max attempts per idempotent wire call (1 = no retries, 0 = disable the resilience layer)")
@@ -184,6 +188,26 @@ func main() {
 		defer stop()
 		if !quiet {
 			fmt.Printf("metrics on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof, /healthz)\n", addr)
+		}
+	}
+	if *listen != "" {
+		ts, err := server.ListenAndServe(sys.Srv, *listen, server.TCPConfig{
+			Admission: server.AdmissionConfig{
+				MaxInFlight: *maxInFlight,
+				MaxQueue:    *maxQueue,
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "listen:", err)
+			os.Exit(1)
+		}
+		defer ts.Close() // graceful drain: stop accepting, finish in-flight
+		if !quiet {
+			fmt.Printf("wire protocol on tcp://%s", ts.Addr())
+			if *maxInFlight > 0 {
+				fmt.Printf(" (admission: %d in flight, queue %d)", *maxInFlight, *maxQueue)
+			}
+			fmt.Println()
 		}
 	}
 	if *sessions > 1 && *command == "" {

@@ -6,6 +6,7 @@
 package lockio
 
 import (
+	"net"
 	"os"
 	"sync"
 	"time"
@@ -214,4 +215,61 @@ func (r *Reg) okCollectThenDrop(s *Store) {
 	delete(r.pins, 1)
 	r.mu.Unlock()
 	s.WritePage(0, nil)
+}
+
+// --- TCP transport classes ---
+
+// Wire is a connection's frame-write lock: ordered, NOT a latch — its
+// whole purpose is serializing complete frames onto the socket, so
+// blocking network I/O under it is the designed shape (the server's
+// tcpConn write lock and the client transport's xmit lock).
+type Wire struct {
+	mu sync.Mutex //tango:lock-order wire-write
+	nc net.Conn
+}
+
+// okWriteUnderOrderedLock: frame writes belong under the write lock.
+func (w *Wire) okWriteUnderOrderedLock(b []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nc.Write(b)
+}
+
+// Mux is a connection's session-attachment latch: map bookkeeping
+// only. Socket reads and writes are blocking network I/O — a stalled
+// peer would wedge every session multiplexed on the connection.
+type Mux struct {
+	mu       sync.Mutex //tango:lock-order mux latch
+	attached map[uint32]bool
+	nc       net.Conn
+}
+
+// badWriteUnderLatch writes a frame while holding the latch.
+func (m *Mux) badWriteUnderLatch(b []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nc.Write(b) // want `performs blocking net-io`
+}
+
+// badReadUnderLatch parks the latch holder on a slow peer.
+func (m *Mux) badReadUnderLatch(b []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nc.Read(b) // want `performs blocking net-io`
+}
+
+// badDialUnderLatch dials (connect handshake = network I/O) latched.
+func (m *Mux) badDialUnderLatch() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	net.Dial("tcp", "127.0.0.1:0") // want `performs blocking net-io`
+}
+
+// okSnapshotThenWrite snapshots the conn under the latch and does the
+// I/O with it released — the detach/notify protocol.
+func (m *Mux) okSnapshotThenWrite(b []byte) {
+	m.mu.Lock()
+	nc := m.nc
+	m.mu.Unlock()
+	nc.Write(b)
 }

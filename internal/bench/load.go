@@ -1,0 +1,255 @@
+// The thousand-session load harness: replay the evaluation workload
+// from many simulated sessions against a TCP endpoint and digest the
+// outcome. The harness is deliberately transport-heavy and
+// session-light — N sessions multiplex over a small pool of shared
+// connections, which is both how real middleware deployments look and
+// what keeps a 1k-session sweep inside the race detector's goroutine
+// budget. cmd/tangoload wraps this with flags; BenchmarkTCPLoad
+// archives its numbers into the bench-json report.
+package bench
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tango/internal/client"
+	"tango/internal/server"
+	"tango/internal/tango"
+	"tango/internal/tsql"
+)
+
+// loadPlainQueries is the regular-SQL majority of the load mix; these
+// go straight through client.QueryAll without the temporal optimizer.
+var loadPlainQueries = []string{
+	"SELECT COUNT(*) FROM POSITION",
+	"SELECT PosID, EmpName FROM POSITION WHERE PayRate > 10",
+	SeedQueries[3], // regular join POSITION ⋈ EMPLOYEE
+}
+
+// loadTemporalQueries is the VALIDTIME minority, driven through a full
+// middleware stack (optimizer, statistics, temp-table split execution)
+// opened over the same TCP connection pool.
+var loadTemporalQueries = []string{
+	SeedQueries[0], // temporal aggregation
+	SeedQueries[5], // AS OF selection
+}
+
+// LoadConfig shapes one load run.
+type LoadConfig struct {
+	// Addr is the TCP endpoint to attack (required).
+	Addr string
+	// Sessions is the number of simulated sessions; 0 defaults to 1024.
+	Sessions int
+	// Ops is the number of statements each session issues; 0 defaults to 4.
+	Ops int
+	// Transports is the shared connection pool size; 0 defaults to 16
+	// (clamped to Sessions).
+	Transports int
+	// TemporalEvery sends every Nth session through the temporal
+	// middleware instead of plain SQL; 0 defaults to 16, < 0 disables.
+	TemporalEvery int
+	// Retry is the per-connection resilience policy; the zero value
+	// defaults to client.DefaultRetryPolicy (so server-suggested
+	// overload backoff is honored).
+	Retry client.RetryPolicy
+	// Histograms is the statistics depth for middleware sessions; 0
+	// defaults to 10.
+	Histograms int
+}
+
+// LoadReport digests a run: outcome counts by failure class and
+// client-observed latency quantiles.
+type LoadReport struct {
+	Sessions, Ops int
+	Elapsed       time.Duration
+	// Completed counts statements that returned a result.
+	Completed int64
+	// Overloaded / ConnLost / Shutdown count statements whose final
+	// outcome (after the retry budget) was the respective typed error.
+	Overloaded int64
+	ConnLost   int64
+	Shutdown   int64
+	// Deadline counts statements whose retry budget expired without a
+	// deeper cause (client.OpError with Timeout set) — the expected
+	// clean outcome when sustained overload outlasts the retry policy.
+	Deadline int64
+	// Untyped holds the first few failures that were NOT part of the
+	// typed vocabulary — a non-empty slice means the run failed.
+	Untyped []string
+	// Latency quantiles over completed statements.
+	P50, P99, P999, Max time.Duration
+}
+
+// Throughput reports completed statements per second.
+func (r *LoadReport) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// quantileDur reads a quantile from an ascending-sorted sample.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// RunLoad executes one load run against cfg.Addr and blocks until
+// every session has finished and the shared transports are closed.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	sessions := cfg.Sessions
+	if sessions == 0 {
+		sessions = 1024
+	}
+	ops := cfg.Ops
+	if ops == 0 {
+		ops = 4
+	}
+	ntr := cfg.Transports
+	if ntr == 0 {
+		ntr = 16
+	}
+	if ntr > sessions {
+		ntr = sessions
+	}
+	tevery := cfg.TemporalEvery
+	if tevery == 0 {
+		tevery = 16
+	}
+	retry := cfg.Retry
+	if retry == (client.RetryPolicy{}) {
+		retry = client.DefaultRetryPolicy()
+	}
+	hist := cfg.Histograms
+	if hist == 0 {
+		hist = 10
+	}
+
+	trs := make([]*client.Transport, ntr)
+	for i := range trs {
+		trs[i] = client.DialTransport(cfg.Addr)
+	}
+	defer func() {
+		for _, tr := range trs {
+			_ = tr.Close()
+		}
+	}()
+
+	rep := &LoadReport{Sessions: sessions, Ops: ops}
+	var (
+		completed, overloaded, connLost, shutdown atomic.Int64
+
+		mu      sync.Mutex
+		lats    = make([]time.Duration, 0, sessions*ops)
+		untyped []string
+	)
+	record := func(d time.Duration) {
+		completed.Add(1)
+		mu.Lock()
+		lats = append(lats, d)
+		mu.Unlock()
+	}
+	var deadline atomic.Int64
+	classify := func(err error) {
+		var ov *server.ErrOverloaded
+		var cl *client.ErrConnLost
+		var oe *client.OpError
+		switch {
+		case errors.As(err, &ov):
+			overloaded.Add(1)
+		case errors.As(err, &cl):
+			connLost.Add(1)
+		case errors.Is(err, server.ErrShutdown):
+			shutdown.Add(1)
+		case errors.As(err, &oe) && oe.Timeout:
+			deadline.Add(1)
+		default:
+			mu.Lock()
+			if len(untyped) < 8 {
+				untyped = append(untyped, err.Error())
+			}
+			mu.Unlock()
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for id := 0; id < sessions; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tr := trs[id%ntr]
+			if tevery > 0 && id%tevery == 0 {
+				runTemporalSession(tr, id, ops, hist, retry, record, classify)
+				return
+			}
+			conn, err := tr.Conn()
+			if err != nil {
+				classify(err)
+				return
+			}
+			conn.Retry = retry
+			defer func() { _ = conn.Close() }()
+			for op := 0; op < ops; op++ {
+				q := loadPlainQueries[(id+op)%len(loadPlainQueries)]
+				t0 := time.Now()
+				_, _, err := conn.QueryAll(q)
+				if err != nil {
+					classify(err)
+					continue
+				}
+				record(time.Since(t0))
+			}
+		}(id)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	rep.Completed = completed.Load()
+	rep.Overloaded = overloaded.Load()
+	rep.ConnLost = connLost.Load()
+	rep.Shutdown = shutdown.Load()
+	rep.Deadline = deadline.Load()
+	rep.Untyped = untyped
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.P50 = quantileDur(lats, 0.50)
+	rep.P99 = quantileDur(lats, 0.99)
+	rep.P999 = quantileDur(lats, 0.999)
+	if n := len(lats); n > 0 {
+		rep.Max = lats[n-1]
+	}
+	return rep, nil
+}
+
+// runTemporalSession drives the VALIDTIME workload through a full
+// middleware instance opened over the shared transport.
+func runTemporalSession(tr *client.Transport, id, ops, hist int,
+	retry client.RetryPolicy, record func(time.Duration), classify func(error)) {
+	conn, err := tr.Conn()
+	if err != nil {
+		classify(err)
+		return
+	}
+	mw := tango.OpenConn(conn, tango.Options{HistogramBuckets: hist, Retry: retry})
+	defer func() { _ = mw.Conn.Close() }()
+	for op := 0; op < ops; op++ {
+		q := loadTemporalQueries[(id+op)%len(loadTemporalQueries)]
+		t0 := time.Now()
+		plan, err := tsql.Parse(q, mw.Cat)
+		if err != nil {
+			classify(err)
+			continue
+		}
+		if _, _, err := mw.Run(plan); err != nil {
+			classify(err)
+			continue
+		}
+		record(time.Since(t0))
+	}
+}

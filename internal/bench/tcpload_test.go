@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/client"
+	"tango/internal/server"
+)
+
+// loadRetry is a patient retry policy for load runs: the default
+// 2-second budget is tuned for interactive chaos recovery, not for
+// riding out a deliberately saturated admission queue.
+func loadRetry() client.RetryPolicy {
+	p := client.DefaultRetryPolicy()
+	p.MaxAttempts = 8
+	p.OpTimeout = 5 * time.Second
+	p.Deadline = 60 * time.Second
+	return p
+}
+
+// TestLoadHarness is the tier-1 smoke for the load generator: a small
+// sweep against an embedded admission-controlled server must finish
+// with only typed outcomes and leave the server clean after drain.
+func TestLoadHarness(t *testing.T) {
+	sys, err := NewSystem(Config{PositionRows: 400, EmployeeRows: 160, Histograms: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := server.ListenAndServe(sys.Srv, "127.0.0.1:0", server.TCPConfig{
+		Admission: server.AdmissionConfig{
+			MaxInFlight: 16, MaxQueue: 64,
+			QueueWait: 250 * time.Millisecond, RetryAfter: time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunLoad(LoadConfig{
+		Addr: ts.Addr(), Sessions: 64, Ops: 2, Transports: 8, Retry: loadRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range rep.Untyped {
+		t.Errorf("untyped failure: %s", msg)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no statement completed")
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := sys.Srv.OpenCursors(); n != 0 {
+		t.Fatalf("%d cursor(s) leaked", n)
+	}
+	if temps := sys.Srv.TempTables(); len(temps) != 0 {
+		t.Fatalf("temp tables leaked: %v", temps)
+	}
+	if n := sys.Srv.LiveSessions(); n > 1 { // the harness's own session
+		t.Fatalf("%d session(s) leaked", n-1)
+	}
+}
+
+// BenchmarkTCPLoad is the archived load number (BENCH_10.json): 1024
+// sessions x 2 statements over 16 shared connections against an
+// admission-controlled TCP server. The custom metrics carry the
+// client-observed latency quantiles and the admission counters.
+func BenchmarkTCPLoad(b *testing.B) {
+	sys, err := NewSystem(Config{PositionRows: 1000, EmployeeRows: 400, Histograms: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := server.ListenAndServe(sys.Srv, "127.0.0.1:0", server.TCPConfig{
+		Admission: server.AdmissionConfig{
+			MaxInFlight: 128, MaxQueue: 1024,
+			QueueWait: time.Second, RetryAfter: time.Millisecond,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ts.Close()
+	var rep *LoadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = RunLoad(LoadConfig{
+			Addr: ts.Addr(), Sessions: 1024, Ops: 2, Retry: loadRetry(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, msg := range rep.Untyped {
+			b.Fatalf("untyped failure: %s", msg)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rep.Throughput(), "stmt/s")
+	b.ReportMetric(float64(rep.Completed), "completed")
+	b.ReportMetric(rep.P50.Seconds()*1e3, "p50-ms")
+	b.ReportMetric(rep.P99.Seconds()*1e3, "p99-ms")
+	b.ReportMetric(rep.P999.Seconds()*1e3, "p999-ms")
+	srv := ts.Server()
+	b.ReportMetric(float64(srv.Admitted()), "admitted")
+	b.ReportMetric(float64(srv.Queued()), "queued")
+	b.ReportMetric(float64(srv.Shed()), "shed")
+}

@@ -30,6 +30,11 @@ import (
 
 // Conn is a middleware-side connection.
 type Conn struct {
+	// be is the session backend every operation goes through: the
+	// in-process façade (Connect) or a TCP transport session (Dial).
+	be Backend
+	// srv is non-nil only on the in-process path; fault-injection
+	// tests reach through it to the server.
 	srv *server.Server
 	// Prefetch is the rows-per-fetch setting (the paper's Oracle
 	// row-prefetch); 0 uses the wire default.
@@ -46,7 +51,6 @@ type Conn struct {
 	// cancellation aborts in-flight retry loops. nil means Background.
 	Ctx context.Context
 
-	session *server.Session
 	jitter  *jitterSrc
 	sessLbl string
 
@@ -89,7 +93,7 @@ func (c *Conn) AddSessionStat(stat string, n int64) {
 }
 
 // SessionID returns the server-side session identifier.
-func (c *Conn) SessionID() int64 { return c.session.ID() }
+func (c *Conn) SessionID() int64 { return c.be.SessionID() }
 
 // PushTrace installs sp as the connection's active trace parent and
 // returns a func restoring the previous one; callers defer it around a
@@ -105,7 +109,7 @@ func (c *Conn) TraceSpan() *telemetry.Span { return c.trace.Load() }
 // TakeRemoteSpans drains the server-collected spans of one trace so
 // the caller can stitch them into its span tree.
 func (c *Conn) TakeRemoteSpans(traceID uint64) []*telemetry.Span {
-	return c.srv.Collector().Take(traceID)
+	return c.be.TakeRemoteSpans(traceID)
 }
 
 // traceHeader encodes a span's context as a wire trace header (nil
@@ -125,13 +129,19 @@ func (c *Conn) observeOp(op string, d time.Duration) {
 	}
 }
 
-// Connect opens a connection to a server.
+// Connect opens an in-process connection to a server.
 func Connect(srv *server.Server) *Conn {
-	session := srv.NewSession()
+	c := NewConn(&inproc{srv: srv, se: srv.NewSession()})
+	c.srv = srv
+	return c
+}
+
+// NewConn wraps an already-open backend session in a connection; the
+// TCP transport's Conn constructor goes through here.
+func NewConn(be Backend) *Conn {
 	return &Conn{
-		srv:     srv,
-		session: session,
-		sessLbl: fmt.Sprintf("%d", session.ID()),
+		be:      be,
+		sessLbl: fmt.Sprintf("%d", be.SessionID()),
 		jitter:  newJitterSrc(time.Now().UnixNano()),
 	}
 }
@@ -140,7 +150,7 @@ func Connect(srv *server.Server) *Conn {
 // session left behind (a query killed mid-transfer) are
 // garbage-collected server-side.
 func (c *Conn) Close() error {
-	_, err := c.session.Close()
+	_, err := c.be.Close()
 	return err
 }
 
@@ -166,7 +176,7 @@ type Feedback struct {
 func (c *Conn) Exec(sql string) (int64, error) {
 	sp := c.TraceSpan().Child("exec")
 	start := time.Now()
-	n, err := c.srv.ExecHdr(traceHeader(sp), sql)
+	n, err := c.be.ExecHdr(traceHeader(sp), sql)
 	c.observeOp("exec", time.Since(start))
 	if err != nil {
 		sp.Set("error_class", errClass(err))
@@ -185,10 +195,14 @@ func (c *Conn) Exec(sql string) (int64, error) {
 func (c *Conn) Query(sql string) (*Rows, error) {
 	start := time.Now()
 	cur, err := doVal(c, "query",
-		func(sp *telemetry.Span) (*server.Cursor, error) {
-			return c.srv.QueryHdr(traceHeader(sp), sql, c.Prefetch)
+		func(sp *telemetry.Span) (Cursor, error) {
+			return c.be.QueryHdr(traceHeader(sp), sql, c.Prefetch)
 		},
-		func(abandoned *server.Cursor) { _ = abandoned.Close() })
+		func(abandoned Cursor) {
+			if abandoned != nil {
+				_ = abandoned.Close()
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +231,7 @@ func (c *Conn) QueryWindowed(sql string, window int) (*Rows, error) {
 // Rows iterates a query result fetched in batches over the wire.
 type Rows struct {
 	conn   *Conn
-	cur    *server.Cursor
+	cur    Cursor
 	schema types.Schema
 	sql    string
 
@@ -603,14 +617,14 @@ func (c *Conn) CreateTable(name string, schema types.Schema) error {
 	var err error
 	if isTemp {
 		err = c.do("create", func(sp *telemetry.Span) error {
-			if _, derr := c.srv.ExecHdr(traceHeader(sp), "DROP TABLE IF EXISTS "+name); derr != nil {
+			if _, derr := c.be.ExecHdr(traceHeader(sp), "DROP TABLE IF EXISTS "+name); derr != nil {
 				return derr
 			}
-			_, cerr := c.srv.ExecHdr(traceHeader(sp), stmt)
+			_, cerr := c.be.ExecHdr(traceHeader(sp), stmt)
 			return cerr
 		})
 		if err == nil {
-			c.session.RegisterTemp(name)
+			c.be.RegisterTemp(name)
 		}
 	} else {
 		_, err = c.Exec(stmt)
@@ -647,7 +661,7 @@ func (c *Conn) Load(table string, rows []types.Tuple) (Feedback, error) {
 	}
 	seq := loadCounter.Add(1)
 	n, err := doVal(c, "load", func(sp *telemetry.Span) (int64, error) {
-		return c.srv.LoadSeqHdr(traceHeader(sp), table, payload, seq)
+		return c.be.LoadSeqHdr(traceHeader(sp), table, payload, seq)
 	}, nil)
 	if err != nil {
 		return Feedback{}, err
@@ -671,7 +685,7 @@ func (c *Conn) InsertRows(table string, rows []types.Tuple) (Feedback, error) {
 	payload := wire.EncodeBatch(wire.GetBuf(), rows)
 	defer wire.PutBuf(payload)
 	sp := c.TraceSpan().Child("insert")
-	n, err := c.srv.InsertRowsHdr(traceHeader(sp), table, payload)
+	n, err := c.be.InsertRowsHdr(traceHeader(sp), table, payload)
 	c.observeOp("insert", time.Since(start))
 	if err != nil {
 		sp.Set("error_class", errClass(err))
@@ -695,11 +709,11 @@ func (c *Conn) InsertRows(table string, rows []types.Tuple) (Feedback, error) {
 // transfer temporaries). DROP IF EXISTS is idempotent, so it retries.
 func (c *Conn) DropTable(name string) error {
 	err := c.do("drop", func(sp *telemetry.Span) error {
-		_, derr := c.srv.ExecHdr(traceHeader(sp), "DROP TABLE IF EXISTS "+name)
+		_, derr := c.be.ExecHdr(traceHeader(sp), "DROP TABLE IF EXISTS "+name)
 		return derr
 	})
 	if err == nil {
-		c.session.ForgetTemp(name)
+		c.be.ForgetTemp(name)
 	}
 	return err
 }
@@ -708,13 +722,13 @@ func (c *Conn) DropTable(name string) error {
 // (read-only, hence retried).
 func (c *Conn) TableStats(table string, histogramBuckets int) (*meta.TableStats, error) {
 	return doVal(c, "stats", func(sp *telemetry.Span) (*meta.TableStats, error) {
-		return c.srv.TableStatsHdr(traceHeader(sp), table, histogramBuckets)
+		return c.be.TableStatsHdr(traceHeader(sp), table, histogramBuckets)
 	}, nil)
 }
 
 // TableSchema fetches a table schema.
 func (c *Conn) TableSchema(table string) (types.Schema, error) {
-	return c.srv.TableSchema(table)
+	return c.be.TableSchema(table)
 }
 
 // tempCounter numbers transfer temp tables; atomic so concurrent

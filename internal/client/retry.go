@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"tango/internal/server"
 	"tango/internal/telemetry"
 	"tango/internal/wire"
 )
@@ -190,12 +191,17 @@ func (e *corruptReply) Error() string { return "client: corrupt reply: " + e.err
 func (e *corruptReply) Unwrap() error { return e.err }
 
 // retryable classifies one attempt's failure: injected wire faults,
-// per-attempt timeouts, and corrupted replies are transient;
+// per-attempt timeouts, corrupted replies, admission sheds (the
+// server said "try again later"), and lost TCP connections (the
+// transport redials and resumes the session) are transient;
 // everything else (semantic SQL errors, schema mismatches, context
 // cancellation) is not.
 func retryable(err error) bool {
 	var cr *corruptReply
-	return wire.Retryable(err) || errors.Is(err, errOpTimeout) || errors.As(err, &cr)
+	var ov *server.ErrOverloaded
+	var cl *ErrConnLost
+	return wire.Retryable(err) || errors.Is(err, errOpTimeout) ||
+		errors.As(err, &cr) || errors.As(err, &ov) || errors.As(err, &cl)
 }
 
 // errClass names an attempt failure for span attributes — the same
@@ -203,6 +209,8 @@ func retryable(err error) bool {
 // can group on.
 func errClass(err error) string {
 	var cr *corruptReply
+	var ov *server.ErrOverloaded
+	var cl *ErrConnLost
 	switch {
 	case err == nil:
 		return ""
@@ -210,6 +218,10 @@ func errClass(err error) string {
 		return "timeout"
 	case errors.As(err, &cr):
 		return "corrupt"
+	case errors.As(err, &ov):
+		return "overloaded"
+	case errors.As(err, &cl):
+		return "conn-lost"
 	case wire.Retryable(err):
 		return "fault"
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -386,6 +398,12 @@ func doValCtx[T any](c *Conn, ctx context.Context, op string, f func(sp *telemet
 		}
 		c.countRetry(op)
 		sleep := c.jitter.backoff(c.Retry, i)
+		// An overloaded server suggests its own backoff; honor it as a
+		// floor so shed clients stay off a saturated queue.
+		var ov *server.ErrOverloaded
+		if errors.As(err, &ov) && ov.Backoff > sleep {
+			sleep = ov.Backoff
+		}
 		if c.Retry.Deadline > 0 {
 			if rest := c.Retry.Deadline - time.Since(start); rest < sleep {
 				sleep = rest

@@ -1,0 +1,275 @@
+// Admission control: the overload-robustness layer in front of the
+// engine. A global in-flight statement limit bounds concurrent work, a
+// bounded wait queue absorbs short bursts, and everything past that is
+// shed immediately with a typed, retryable ErrOverloaded carrying a
+// server-suggested backoff — so under overload the server degrades to
+// fast typed rejections instead of unbounded queues, memory growth, or
+// hangs. A draining server rejects new statements with ErrShutdown so
+// graceful shutdown can finish the in-flight work it already admitted.
+//
+// The in-flight unit of a Query is held until its cursor closes (an
+// open statement is live work: its snapshot, its batch buffers); all
+// other statements hold their unit for the duration of the call. The
+// zero configuration disables admission entirely, leaving the
+// in-process unit-test path untouched.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig tunes the admission controller. The zero value
+// disables it.
+type AdmissionConfig struct {
+	// MaxInFlight is the global concurrent admitted-statement limit;
+	// <= 0 disables admission control entirely.
+	MaxInFlight int
+	// MaxQueue bounds the wait queue in front of the in-flight limit;
+	// 0 sheds immediately when the limit is reached.
+	MaxQueue int
+	// QueueWait bounds how long a queued statement waits for a slot
+	// before it is shed; <= 0 defaults to 100ms.
+	QueueWait time.Duration
+	// SessionBudget caps the bytes one session may have resident
+	// server-side (request payloads plus replayable cursor batches);
+	// <= 0 means unlimited.
+	SessionBudget int64
+	// RetryAfter is the backoff suggestion carried inside ErrOverloaded;
+	// <= 0 defaults to QueueWait (or its default).
+	RetryAfter time.Duration
+}
+
+// Enabled reports whether the configuration admits anything less than
+// everything.
+func (c AdmissionConfig) Enabled() bool { return c.MaxInFlight > 0 }
+
+// queueWait resolves the queue-wait bound.
+func (c AdmissionConfig) queueWait() time.Duration {
+	if c.QueueWait > 0 {
+		return c.QueueWait
+	}
+	return 100 * time.Millisecond
+}
+
+// retryAfter resolves the suggested backoff.
+func (c AdmissionConfig) retryAfter() time.Duration {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return c.queueWait()
+}
+
+// ErrOverloaded is the typed shed: the admission controller refused a
+// statement because the server is at capacity. It is retryable — the
+// client should back off at least Backoff and try again.
+type ErrOverloaded struct {
+	// Backoff is the server-suggested minimum delay before retrying.
+	Backoff time.Duration
+	// Queue is the wait-queue depth observed at shed time.
+	Queue int
+	// Reason says which limit shed the statement: "queue-full",
+	// "queue-wait", or "budget".
+	Reason string
+}
+
+// Error renders the shed.
+func (e *ErrOverloaded) Error() string {
+	return fmt.Sprintf("server: overloaded (%s, queue %d): retry after %v", e.Reason, e.Queue, e.Backoff)
+}
+
+// ErrShutdown is the typed rejection of a statement that arrived (or
+// was still queued) while the server is draining. Not retryable: the
+// server is going away.
+var ErrShutdown = errors.New("server: shutting down")
+
+// admission is the controller state embedded in Server.
+type admission struct {
+	mu      sync.Mutex //tango:lock-order admission latch
+	cfg     AdmissionConfig
+	slots   chan struct{} // capacity MaxInFlight; a token is one admitted statement
+	waiting int           // current queue depth
+	drainCh chan struct{} // closed by StartDrain
+
+	// counters (see Server.RegisterMetrics): lifetime totals of the
+	// tango_server_* series.
+	connections atomic.Int64 // TCP connections accepted
+	accepted    atomic.Int64 // sessions opened or resumed over TCP
+	admitted    atomic.Int64 // statements admitted
+	queued      atomic.Int64 // statements that waited in the queue
+	shed        atomic.Int64 // statements shed with ErrOverloaded
+	drained     atomic.Int64 // sessions/statements cut by graceful drain
+	draining    atomic.Bool
+}
+
+// SetAdmission installs (or, with the zero config, removes) admission
+// control. Not safe to swap while statements are in flight.
+func (s *Server) SetAdmission(cfg AdmissionConfig) {
+	s.adm.mu.Lock()
+	defer s.adm.mu.Unlock()
+	s.adm.cfg = cfg
+	s.adm.slots = nil
+	if cfg.Enabled() {
+		s.adm.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+}
+
+// Admission returns the current configuration.
+func (s *Server) Admission() AdmissionConfig {
+	s.adm.mu.Lock()
+	defer s.adm.mu.Unlock()
+	return s.adm.cfg
+}
+
+// StartDrain puts the server into graceful shutdown: every statement
+// arriving (or still queued) from now on is rejected with ErrShutdown;
+// already-admitted work runs to completion. Idempotent.
+func (s *Server) StartDrain() {
+	if s.adm.draining.CompareAndSwap(false, true) {
+		s.adm.mu.Lock()
+		if s.adm.drainCh != nil {
+			close(s.adm.drainCh)
+		}
+		s.adm.mu.Unlock()
+	}
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.adm.draining.Load() }
+
+// EndDrain returns a drained server to service (tests reuse one server
+// across lifecycles).
+func (s *Server) EndDrain() {
+	if s.adm.draining.CompareAndSwap(true, false) {
+		s.adm.mu.Lock()
+		s.adm.drainCh = make(chan struct{})
+		s.adm.mu.Unlock()
+	}
+}
+
+// InFlight reports the number of currently admitted statements
+// (including open cursors). Zero when admission is disabled.
+func (s *Server) InFlight() int {
+	s.adm.mu.Lock()
+	slots := s.adm.slots
+	s.adm.mu.Unlock()
+	if slots == nil {
+		return 0
+	}
+	return len(slots)
+}
+
+// QueueDepth reports the current admission wait-queue depth.
+func (s *Server) QueueDepth() int {
+	s.adm.mu.Lock()
+	defer s.adm.mu.Unlock()
+	return s.adm.waiting
+}
+
+// Shed reports the lifetime count of statements shed with
+// ErrOverloaded.
+func (s *Server) Shed() int64 { return s.adm.shed.Load() }
+
+// Admitted reports the lifetime count of admitted statements.
+func (s *Server) Admitted() int64 { return s.adm.admitted.Load() }
+
+// Connections / Accepted / Queued / Drained report the remaining
+// lifetime totals behind the tango_server_* series, for load-harness
+// reports that want the numbers without scraping a registry.
+func (s *Server) Connections() int64 { return s.adm.connections.Load() }
+func (s *Server) Accepted() int64    { return s.adm.accepted.Load() }
+func (s *Server) Queued() int64      { return s.adm.queued.Load() }
+func (s *Server) Drained() int64     { return s.adm.drained.Load() }
+
+// CountConnection / CountSessionAccepted / CountDrained feed the TCP
+// layer's lifecycle events into the admission counters.
+func (s *Server) CountConnection()      { s.adm.connections.Add(1) }
+func (s *Server) CountSessionAccepted() { s.adm.accepted.Add(1) }
+func (s *Server) CountDrained()         { s.adm.drained.Add(1) }
+
+// admit gates one statement. It returns a release closure (never nil)
+// to call when the statement's in-flight unit ends, or a typed error:
+// ErrShutdown while draining, ErrOverloaded when the queue is full or
+// the queue wait expires. ctx cancellation also aborts the wait.
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	if s.adm.draining.Load() {
+		return nil, ErrShutdown
+	}
+	s.adm.mu.Lock()
+	cfg := s.adm.cfg
+	slots := s.adm.slots
+	drainCh := s.adm.drainCh
+	if slots == nil {
+		s.adm.mu.Unlock()
+		return func() {}, nil
+	}
+	// Fast path: a slot is free right now.
+	select {
+	case slots <- struct{}{}:
+		s.adm.mu.Unlock()
+		s.adm.admitted.Add(1)
+		return func() { <-slots }, nil
+	default:
+	}
+	// Queue, bounded: past MaxQueue the statement is shed immediately.
+	if s.adm.waiting >= cfg.MaxQueue {
+		depth := s.adm.waiting
+		s.adm.mu.Unlock()
+		s.adm.shed.Add(1)
+		return nil, &ErrOverloaded{Backoff: cfg.retryAfter(), Queue: depth, Reason: "queue-full"}
+	}
+	s.adm.waiting++
+	depth := s.adm.waiting
+	s.adm.mu.Unlock()
+	s.adm.queued.Add(1)
+	defer func() {
+		s.adm.mu.Lock()
+		s.adm.waiting--
+		s.adm.mu.Unlock()
+	}()
+
+	timer := time.NewTimer(cfg.queueWait())
+	defer timer.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case slots <- struct{}{}:
+		s.adm.admitted.Add(1)
+		return func() { <-slots }, nil
+	case <-timer.C:
+		s.adm.shed.Add(1)
+		return nil, &ErrOverloaded{Backoff: cfg.retryAfter(), Queue: depth, Reason: "queue-wait"}
+	case <-drainChOrNever(drainCh):
+		s.adm.drained.Add(1)
+		return nil, ErrShutdown
+	case <-done:
+		return nil, ctx.Err()
+	}
+}
+
+// drainChOrNever returns ch, or a never-closing channel when the
+// server was built before any drain channel existed.
+func drainChOrNever(ch chan struct{}) chan struct{} {
+	if ch != nil {
+		return ch
+	}
+	return neverCh
+}
+
+var neverCh = make(chan struct{})
+
+// shedBudget builds the typed over-budget shed for a session that
+// would exceed its memory budget.
+func (s *Server) shedBudget(depth int) error {
+	s.adm.shed.Add(1)
+	s.adm.mu.Lock()
+	cfg := s.adm.cfg
+	s.adm.mu.Unlock()
+	return &ErrOverloaded{Backoff: cfg.retryAfter(), Queue: depth, Reason: "budget"}
+}

@@ -13,6 +13,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -34,6 +35,14 @@ type Server struct {
 
 	// faults, when non-nil, injects wire failures into every op.
 	faults atomic.Pointer[wire.FaultInjector]
+
+	// base, when non-nil, bounds every simulated delay (latency
+	// charges, injected stalls): the TCP layer stores its drain context
+	// here so shutdown cuts sleeps short instead of waiting them out.
+	base atomic.Pointer[context.Context]
+
+	// adm is the admission controller (disabled by default).
+	adm admission
 
 	// collector, when non-nil, receives finished server-side spans for
 	// wire ops that arrive with a trace header (see trace.go).
@@ -63,7 +72,28 @@ type loadMark struct {
 
 // New wraps a database in a server with the given latency model.
 func New(db *engine.DB, lat wire.Latency) *Server {
-	return &Server{db: db, lat: lat}
+	s := &Server{db: db, lat: lat}
+	s.adm.drainCh = make(chan struct{})
+	return s
+}
+
+// SetBaseContext installs the context bounding every simulated delay
+// (nil restores Background). The TCP layer points this at its drain
+// context so a shutdown never waits out a simulated stall.
+func (s *Server) SetBaseContext(ctx context.Context) {
+	if ctx == nil {
+		s.base.Store(nil)
+		return
+	}
+	s.base.Store(&ctx)
+}
+
+// ctx resolves the server's delay-bounding context.
+func (s *Server) ctx() context.Context {
+	if p := s.base.Load(); p != nil {
+		return *p
+	}
+	return context.Background()
 }
 
 // DB exposes the engine for in-process test setup; production callers
@@ -91,7 +121,9 @@ func (s *Server) decide(op wire.Op) wire.Fault {
 	}
 	d := f.Decide(op)
 	if d.Kind == wire.KindStall {
-		time.Sleep(d.Stall)
+		// Context-aware: a draining server (or dead session) cuts the
+		// stall short instead of sleeping it out.
+		wire.SleepCtx(s.ctx(), d.Stall)
 	}
 	return d
 }
@@ -115,6 +147,29 @@ func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("tango_wire_bad_headers_total", nil, func() float64 {
 		return float64(atomic.LoadInt64(&s.badHeaders))
 	})
+	// Transport and admission lifecycle counters (the TCP layer and the
+	// admission controller feed these).
+	reg.GaugeFunc("tango_server_connections_total", nil, func() float64 {
+		return float64(s.adm.connections.Load())
+	})
+	reg.GaugeFunc("tango_server_accepted_total", nil, func() float64 {
+		return float64(s.adm.accepted.Load())
+	})
+	reg.GaugeFunc("tango_server_admitted_total", nil, func() float64 {
+		return float64(s.adm.admitted.Load())
+	})
+	reg.GaugeFunc("tango_server_queued_total", nil, func() float64 {
+		return float64(s.adm.queued.Load())
+	})
+	reg.GaugeFunc("tango_server_shed_total", nil, func() float64 {
+		return float64(s.adm.shed.Load())
+	})
+	reg.GaugeFunc("tango_server_drained_total", nil, func() float64 {
+		return float64(s.adm.drained.Load())
+	})
+	reg.GaugeFunc("tango_admission_queue_depth", nil, func() float64 {
+		return float64(s.QueueDepth())
+	})
 	s.db.SetMetrics(reg)
 }
 
@@ -122,6 +177,11 @@ func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
 // general; the client only retries statements it knows are (DROP IF
 // EXISTS, and CREATE TABLE under its drop-and-recreate protocol).
 func (s *Server) Exec(sql string) (int64, error) {
+	release, err := s.admit(s.ctx())
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	if d := s.decide(wire.OpExec); d.Kind == wire.KindDrop {
 		return 0, d.Error(wire.OpExec)
 	} else if d.Kind == wire.KindPartial {
@@ -136,7 +196,7 @@ func (s *Server) Exec(sql string) (int64, error) {
 }
 
 func (s *Server) exec(sql string) (int64, error) {
-	s.lat.Charge(len(sql))
+	s.lat.ChargeCtx(s.ctx(), len(sql))
 	if name, ok := strings.CutPrefix(sql, "DROP TABLE IF EXISTS "); ok {
 		// The table's identity ends with the drop: a later temp table
 		// reusing the name must not inherit its load-dedup mark.
@@ -151,12 +211,19 @@ func (s *Server) Query(sql string, prefetch int) (*Cursor, error) {
 	if prefetch <= 0 {
 		prefetch = wire.DefaultPrefetch
 	}
+	// An open statement is live work (its snapshot, its replayable
+	// batch): the admission unit is held until the cursor closes.
+	release, err := s.admit(s.ctx())
+	if err != nil {
+		return nil, err
+	}
 	if d := s.decide(wire.OpQuery); d.Kind == wire.KindDrop || d.Kind == wire.KindPartial {
 		// Both directions of loss look the same to the client, and the
 		// server opens nothing, so OPEN is trivially retryable.
+		release()
 		return nil, d.Error(wire.OpQuery)
 	}
-	s.lat.Charge(len(sql))
+	s.lat.ChargeCtx(s.ctx(), len(sql))
 	// Statement → snapshot binding: the cursor pins the commit sequence
 	// current at open, so its batches stream one consistent state no
 	// matter what other sessions commit or load meanwhile. The pin is
@@ -165,16 +232,18 @@ func (s *Server) Query(sql string, prefetch int) (*Cursor, error) {
 	it, err := snap.Query(sql)
 	if err != nil {
 		snap.Release()
+		release()
 		return nil, err
 	}
 	if err := it.Open(); err != nil {
 		_ = it.Close()
 		snap.Release()
+		release()
 		return nil, err
 	}
 	atomic.AddInt64(&s.queries, 1)
 	atomic.AddInt64(&s.openCursors, 1)
-	return &Cursor{srv: s, it: it, snap: snap, prefetch: prefetch}, nil
+	return &Cursor{srv: s, it: it, snap: snap, prefetch: prefetch, release: release}, nil
 }
 
 // OpenCursors reports the number of cursors opened but not yet
@@ -195,6 +264,7 @@ type Cursor struct {
 	it       rel.Iterator
 	snap     *engine.Snapshot // pinned commit sequence; released on Close
 	prefetch int
+	release  func() // admission unit held while the statement is open
 
 	// The cursor lock is held across iterator pulls (engine I/O): an
 	// ordered class, not a latch.
@@ -281,7 +351,7 @@ func (c *Cursor) fetch(seq int64, dst []byte, charge bool) ([]byte, time.Duratio
 	payload := wire.EncodeBatch(dst[:0], rows)
 	var delay time.Duration
 	if charge {
-		c.srv.lat.Charge(len(payload))
+		c.srv.lat.ChargeCtx(c.srv.ctx(), len(payload))
 	} else {
 		delay = c.srv.lat.Wire(len(payload))
 	}
@@ -354,6 +424,9 @@ func (c *Cursor) Close() error {
 	if !c.closed {
 		c.closed = true
 		atomic.AddInt64(&c.srv.openCursors, -1)
+		if c.release != nil {
+			c.release()
+		}
 	}
 	err := c.it.Close()
 	c.snap.Release()
@@ -373,11 +446,16 @@ func (s *Server) Load(table string, payload []byte) (int64, error) {
 // duplicate delivery (the previous reply was lost) and is answered
 // from the mark without re-applying.
 func (s *Server) LoadSeq(table string, payload []byte, seq int64) (int64, error) {
+	release, aerr := s.admit(s.ctx())
+	if aerr != nil {
+		return 0, aerr
+	}
+	defer release()
 	d := s.decide(wire.OpLoad)
 	if d.Kind == wire.KindDrop {
 		return 0, d.Error(wire.OpLoad)
 	}
-	s.lat.Charge(len(payload))
+	s.lat.ChargeCtx(s.ctx(), len(payload))
 	if seq != 0 {
 		s.mu.Lock()
 		mark, ok := s.loadSeqs[table]
@@ -416,17 +494,22 @@ func (s *Server) LoadSeq(table string, payload []byte, seq int64) (int64, error)
 // per row. Provided for the bulk-load ablation experiment. Not
 // idempotent — the client must not retry it.
 func (s *Server) InsertRows(table string, payload []byte) (int64, error) {
+	release, aerr := s.admit(s.ctx())
+	if aerr != nil {
+		return 0, aerr
+	}
+	defer release()
 	if d := s.decide(wire.OpInsert); d.Kind == wire.KindDrop || d.Kind == wire.KindPartial {
 		return 0, d.Error(wire.OpInsert)
 	}
-	s.lat.Charge(len(payload))
+	s.lat.ChargeCtx(s.ctx(), len(payload))
 	rows, err := wire.DecodeBatch(payload)
 	if err != nil {
 		return 0, err
 	}
 	for i, r := range rows {
 		// Each INSERT is its own round trip.
-		s.lat.Charge(0)
+		s.lat.ChargeCtx(s.ctx(), 0)
 		if err := s.db.Insert(table, r); err != nil {
 			return int64(i), err
 		}
@@ -438,10 +521,15 @@ func (s *Server) InsertRows(table string, payload []byte) (int64, error) {
 // TableStats returns catalog statistics, computing them (ANALYZE) if
 // absent. histogramBuckets applies only when statistics are computed.
 func (s *Server) TableStats(table string, histogramBuckets int) (*meta.TableStats, error) {
+	release, aerr := s.admit(s.ctx())
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
 	if d := s.decide(wire.OpStats); d.Kind == wire.KindDrop || d.Kind == wire.KindPartial {
 		return nil, d.Error(wire.OpStats)
 	}
-	s.lat.Charge(len(table))
+	s.lat.ChargeCtx(s.ctx(), len(table))
 	t, err := s.db.Table(table)
 	if err != nil {
 		return nil, err

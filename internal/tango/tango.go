@@ -94,9 +94,15 @@ type Options struct {
 	Flight *telemetry.Flight
 }
 
-// Open connects the middleware to a DBMS server.
+// Open connects the middleware to an in-process DBMS server.
 func Open(srv *server.Server, opts Options) *Middleware {
-	conn := client.Connect(srv)
+	return OpenConn(client.Connect(srv), opts)
+}
+
+// OpenConn builds the middleware on an already-open client connection
+// — the seam the TCP transport plugs into (client.Dial /
+// Transport.Conn); the in-process Open goes through here too.
+func OpenConn(conn *client.Conn, opts Options) *Middleware {
 	conn.Prefetch = opts.Prefetch
 	conn.Metrics = opts.Metrics
 	conn.Retry = opts.Retry

@@ -369,7 +369,13 @@ func TestPromLabelEscaping(t *testing.T) {
 		{"quote", `say "hi"`, `say \"hi\"`},
 		{"newline", "line1\nline2", `line1\nline2`},
 		{"mixed", "p\\q\"\n", `p\\q\"\n`},
+		// A literal backslash-n pair must double the backslash, not
+		// collapse into the newline escape.
+		{"literal-backslash-n", `a\nb`, `a\\nb`},
+		{"quote-after-backslash", `\"`, `\\\"`},
 		{"plain", "plain-value", "plain-value"},
+		// The admission shed reasons ride as label values verbatim.
+		{"shed-reason", "queue-full", "queue-full"},
 		{"unicode", "héllo…", "héllo…"}, // not escaped: exposition is UTF-8
 	}
 	for _, tc := range cases {

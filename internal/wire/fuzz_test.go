@@ -1,6 +1,10 @@
 package wire
 
-import "testing"
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
 
 // FuzzParseSchedule fuzzes the fault-schedule decoder: no input may
 // panic, and any accepted schedule must render canonically — its
@@ -46,6 +50,45 @@ func FuzzParseSchedule(f *testing.F) {
 					t.Fatalf("fault with non-positive stall: %+v", d)
 				}
 			}
+		}
+	})
+}
+
+// FuzzDecodeFrame fuzzes the frame decoder: truncated, oversized, and
+// garbage input must return one of the typed frame errors — never
+// panic — and anything the decoder accepts must re-encode to the same
+// bytes and decode identically through the streaming reader.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(AppendFrame(nil, Frame{Type: MsgHello, Payload: AppendHello(nil)}))
+	f.Add(AppendFrame(nil, Frame{Type: MsgExec, Session: 7, Request: 42, Payload: []byte("SELECT 1")}))
+	f.Add(AppendFrame(nil, Frame{Type: MsgErr, Request: 1, Payload: AppendRemoteError(nil, RemoteError{Code: CodeOverloaded, Msg: "q", Backoff: 1, Queue: 2})}))
+	f.Add(AppendFrame(nil, Frame{Type: MsgFetch, Session: 1, Request: 2, Payload: []byte{1, 2, 3}})[:10])
+	f.Add(append(AppendFrame(nil, Frame{Type: MsgOK, Request: 5}), "trailing"...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, used, err := DecodeFrame(data)
+		if err != nil {
+			if !errors.Is(err, ErrFrameTruncated) && !errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if used < framePrefixLen+frameHeaderLen || used > len(data) {
+			t.Fatalf("impossible consumed count %d for %d input bytes", used, len(data))
+		}
+		// Accepted frames re-encode to the consumed bytes exactly.
+		if enc := AppendFrame(nil, fr); !bytes.Equal(enc, data[:used]) {
+			t.Fatalf("re-encode mismatch: %x != %x", enc, data[:used])
+		}
+		// The streaming reader agrees with the in-memory decoder.
+		rf, _, rerr := ReadFrame(bytes.NewReader(data[:used]), nil)
+		if rerr != nil {
+			t.Fatalf("ReadFrame rejected an accepted frame: %v", rerr)
+		}
+		if rf.Type != fr.Type || rf.Session != fr.Session || rf.Request != fr.Request || !bytes.Equal(rf.Payload, fr.Payload) {
+			t.Fatalf("ReadFrame disagrees with DecodeFrame")
 		}
 	})
 }

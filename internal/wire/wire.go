@@ -6,6 +6,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -146,9 +147,41 @@ func (l Latency) Wire(n int) time.Duration {
 }
 
 // Charge sleeps for one round trip plus the transmit time of n bytes.
-// It is a no-op for the zero Latency.
+// It is a no-op for the zero Latency. Callers that hold a cancelable
+// context should use ChargeCtx so a dead session does not sleep out a
+// simulated stall.
 func (l Latency) Charge(n int) {
-	if d := l.Wire(n); d > 0 {
+	l.ChargeCtx(context.Background(), n)
+}
+
+// ChargeCtx is Charge bounded by ctx: the sleep is cut short when the
+// context is canceled (the session died, the server is draining), so
+// simulated latency can never pin a connection past its lifetime. The
+// remaining delay is simply not slept — the caller's next step will
+// observe ctx.Err() through its own paths.
+func (l Latency) ChargeCtx(ctx context.Context, n int) {
+	d := l.Wire(n)
+	if d <= 0 {
+		return
+	}
+	SleepCtx(ctx, d)
+}
+
+// SleepCtx sleeps for d or until ctx is canceled, whichever comes
+// first. It is the context-aware form every simulated delay in the
+// wire layer (latency charges, injected stalls) goes through.
+func SleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if ctx == nil || ctx.Done() == nil {
 		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }
